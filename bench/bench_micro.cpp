@@ -1,0 +1,83 @@
+// Microbenchmarks (google-benchmark): hot paths of the simulation substrate.
+#include <benchmark/benchmark.h>
+
+#include "block/mem_disk.hpp"
+#include "common/crc32c.hpp"
+#include "common/rng.hpp"
+#include "flash/ftl.hpp"
+#include "raid/raid_device.hpp"
+
+namespace {
+
+using namespace srcache;
+
+void BM_Crc32cBlockTag(benchmark::State& state) {
+  u64 tag = 0x123456789ABCDEF0ull;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(common::crc32c_of(tag));
+    ++tag;
+  }
+}
+BENCHMARK(BM_Crc32cBlockTag);
+
+void BM_Crc32c4K(benchmark::State& state) {
+  std::vector<u8> buf(4096, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(common::crc32c(buf));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Crc32c4K);
+
+void BM_XoshiroNext(benchmark::State& state) {
+  common::Xoshiro256 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_XoshiroNext);
+
+void BM_ZipfNext(benchmark::State& state) {
+  common::ZipfSampler zipf(1 << 20, 1.1, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(zipf.next());
+}
+BENCHMARK(BM_ZipfNext);
+
+void BM_FtlRandomWrite(benchmark::State& state) {
+  flash::FtlConfig cfg;
+  cfg.units = 8;
+  cfg.pages_per_block = 256;
+  cfg.exported_pages = 1 << 18;
+  cfg.ops_fraction = 0.07;
+  flash::Ftl ftl(cfg);
+  for (u64 p = 0; p < cfg.exported_pages; ++p) ftl.write(p);
+  common::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftl.write(rng.below(cfg.exported_pages)));
+  }
+  state.counters["WA"] = ftl.stats().write_amplification();
+}
+BENCHMARK(BM_FtlRandomWrite);
+
+void BM_Raid5SmallWrite(benchmark::State& state) {
+  blockdev::MemDiskConfig mc;
+  mc.capacity_blocks = 1 << 16;
+  mc.track_content = false;
+  std::vector<std::unique_ptr<blockdev::MemDisk>> disks;
+  std::vector<blockdev::BlockDevice*> members;
+  for (int i = 0; i < 4; ++i) {
+    disks.push_back(std::make_unique<blockdev::MemDisk>(mc));
+    members.push_back(disks.back().get());
+  }
+  raid::RaidDevice r5(raid::RaidConfig{raid::RaidLevel::kRaid5, 1}, members);
+  common::Xoshiro256 rng(4);
+  sim::SimTime t = 0;
+  for (auto _ : state) {
+    const u64 lba = rng.below(r5.capacity_blocks());
+    benchmark::DoNotOptimize(r5.write(t, lba, 1, {}));
+    t += 1000;
+  }
+}
+BENCHMARK(BM_Raid5SmallWrite);
+
+}  // namespace
+
+BENCHMARK_MAIN();

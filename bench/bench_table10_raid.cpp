@@ -1,0 +1,35 @@
+// Table 10: SRC RAID protection levels (0, 4, 5).
+//
+// Paper result: RAID-0 best (no redundancy, ~650 MB/s Write), RAID-5
+// slightly above RAID-4 (parity distribution smooths load), RAID-5 about
+// 20% below RAID-0.
+#include "harness.hpp"
+
+using namespace srcache;
+using namespace srcache::bench;
+
+int main() {
+  print_header("Table 10: RAID level performance (SRC)", "Table 10");
+  const double k = scale();
+
+  common::Table t({"Workload", "RAID-0", "RAID-4", "RAID-5",
+                   "(MB/s, amp in parens)"});
+  for (auto group : {workload::TraceGroup::kWrite, workload::TraceGroup::kMixed,
+                     workload::TraceGroup::kRead}) {
+    std::vector<std::string> row = {workload::to_string(group)};
+    for (auto raid : {src::SrcRaidLevel::kRaid0, src::SrcRaidLevel::kRaid4,
+                      src::SrcRaidLevel::kRaid5}) {
+      src::SrcConfig cfg = default_src_config();
+      cfg.raid = raid;
+      auto rig = make_src_rig(cfg, flash::spec_840pro_128(), k);
+      const auto res = run_group(rig->cache.get(), rig->ssd_ptrs(), group, k);
+      row.push_back(common::Table::num(res.throughput_mbps, 0) + " (" +
+                    common::Table::num(res.io_amplification, 2) + ")");
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+  std::printf("\npaper: Write 650/482/508, Mixed 686/521/547, Read 791/699/726"
+              " MB/s (RAID-0/-4/-5).\n");
+  return 0;
+}

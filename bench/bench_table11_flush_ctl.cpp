@@ -1,0 +1,40 @@
+// Table 11: influence of the flush issue point — per segment write vs per
+// segment-group write.
+//
+// Paper result: per-segment flushing costs ~10% on Write workloads and
+// more than 40% on Read workloads (flush barriers stall reads too).
+#include "harness.hpp"
+
+using namespace srcache;
+using namespace srcache::bench;
+
+int main() {
+  print_header("Table 11: flush command control", "Table 11");
+  const double k = scale();
+
+  common::Table t({"Workload", "Per segment", "Per SG",
+                   "(MB/s, amp in parens)", "paper per-seg", "paper per-SG"});
+  const char* paper_seg[] = {"462.53", "480.74", "418.03"};
+  const char* paper_sg[] = {"507.89", "547.36", "725.95"};
+  int row = 0;
+  for (auto group : {workload::TraceGroup::kWrite, workload::TraceGroup::kMixed,
+                     workload::TraceGroup::kRead}) {
+    std::vector<std::string> cells = {workload::to_string(group)};
+    for (auto fc : {src::FlushControl::kPerSegment,
+                    src::FlushControl::kPerSegmentGroup}) {
+      src::SrcConfig cfg = default_src_config();
+      cfg.flush_control = fc;
+      auto rig = make_src_rig(cfg, flash::spec_840pro_128(), k);
+      const auto res = run_group(rig->cache.get(), rig->ssd_ptrs(), group, k);
+      cells.push_back(common::Table::num(res.throughput_mbps, 0) + " (" +
+                      common::Table::num(res.io_amplification, 2) + ")");
+    }
+    cells.push_back("");
+    cells.push_back(paper_seg[row]);
+    cells.push_back(paper_sg[row]);
+    t.add_row(std::move(cells));
+    ++row;
+  }
+  t.print();
+  return 0;
+}

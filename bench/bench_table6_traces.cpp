@@ -1,0 +1,42 @@
+// Table 6: characteristics of the synthetic trace sets. The synthesizer is
+// configured from the paper's Table 6 rows; this bench verifies (by
+// sampling) that the generated streams match the targets.
+#include "harness.hpp"
+
+using namespace srcache;
+using namespace srcache::bench;
+
+int main() {
+  print_header("Table 6: trace set characteristics (synthetic equivalents)",
+               "Table 6");
+  common::Table t({"Set", "Trace", "target KB", "measured KB", "target R%",
+                   "measured R%", "footprint MiB"});
+  const double k = scale();
+  for (auto group : {workload::TraceGroup::kWrite, workload::TraceGroup::kMixed,
+                     workload::TraceGroup::kRead}) {
+    workload::TraceSet set = workload::make_trace_set(
+        group, Geometry::at(k).group_footprint_bytes, 1);
+    for (const auto& tr : set.traces) {
+      double blocks = 0;
+      int reads = 0;
+      const int n = 20000;
+      workload::TraceSynth probe(tr->config());
+      for (int i = 0; i < n; ++i) {
+        const auto op = probe.next();
+        blocks += op.nblocks;
+        reads += op.is_write ? 0 : 1;
+      }
+      t.add_row({workload::to_string(group), tr->config().spec.name,
+                 common::Table::num(tr->config().spec.avg_req_kb, 2),
+                 common::Table::num(blocks / n * 4.0, 2),
+                 std::to_string(tr->config().spec.read_pct),
+                 common::Table::num(100.0 * reads / n, 0),
+                 common::Table::num(
+                     static_cast<double>(blocks_to_bytes(
+                         tr->config().footprint_blocks)) / (1 << 20),
+                     0)});
+    }
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,237 @@
+// Shared experiment rig for the bench binaries.
+//
+// Every bench reproduces one table or figure of the paper at a configurable
+// scale: REPRO_SCALE (default 0.25) multiplies device capacities, erase
+// groups, cache regions and workload footprints together, preserving every
+// pressure ratio (cache/working-set, OPS fraction, segments per SG);
+// REPRO_SECONDS (default 10) sets the measured virtual duration per point
+// (the paper measures 10 wall-clock minutes; virtual seconds only change
+// statistical noise, not the shape).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/bcache_like.hpp"
+#include "baselines/flashcache_like.hpp"
+#include "common/table.hpp"
+#include "cost/cost_model.hpp"
+#include "flash/sim_ssd.hpp"
+#include "hdd/iscsi_target.hpp"
+#include "raid/raid_device.hpp"
+#include "src_cache/src_cache.hpp"
+#include "workload/runner.hpp"
+#include "workload/trace_synth.hpp"
+
+namespace srcache::bench {
+
+inline double scale() {
+  if (const char* s = std::getenv("REPRO_SCALE")) return std::atof(s);
+  return 0.25;
+}
+
+inline sim::SimTime run_duration() {
+  double secs = 10.0;
+  if (const char* s = std::getenv("REPRO_SECONDS")) secs = std::atof(s);
+  return static_cast<sim::SimTime>(secs * 1e9);
+}
+
+// Paper geometry scaled: erase group, chunk, 18-SG cache region.
+struct Geometry {
+  u64 erase_group_bytes;
+  u64 chunk_bytes;
+  u64 region_bytes_per_ssd;  // 18 erase groups
+  u64 ssd_capacity_bytes;    // region + spare (the paper's dummy-filled rest)
+  u64 group_footprint_bytes; // ~50 GB per trace group at scale 1
+
+  static Geometry at(double k) {
+    Geometry g;
+    g.erase_group_bytes = static_cast<u64>(256.0 * k) * MiB;
+    if (g.erase_group_bytes < 8 * MiB) g.erase_group_bytes = 8 * MiB;
+    g.chunk_bytes = 512 * KiB;
+    g.region_bytes_per_ssd = 18 * g.erase_group_bytes;
+    g.ssd_capacity_bytes = g.region_bytes_per_ssd + 2 * g.erase_group_bytes;
+    g.group_footprint_bytes = static_cast<u64>(50.0 * k * 1024.0) * MiB;
+    return g;
+  }
+};
+
+// Scales an SsdSpec's NAND geometry so the device exports exactly
+// `capacity` with its erase group scaled by the same factor as everything
+// else (flash block count and per-op timing stay realistic).
+inline flash::SsdSpec sized_spec(flash::SsdSpec s, u64 capacity_bytes,
+                                 double k = scale()) {
+  s.capacity_bytes = capacity_bytes;
+  const u64 target_eg = std::max<u64>(
+      8 * MiB, static_cast<u64>(static_cast<double>(s.erase_group_bytes()) * k));
+  u64 ppb = target_eg / (static_cast<u64>(s.units) * kBlockSize);
+  // Power-of-two pages per block, at least 64 (256 KiB flash blocks).
+  u64 rounded = 64;
+  while (rounded * 2 <= ppb) rounded *= 2;
+  s.pages_per_block = rounded;
+  // Never let one erase group exceed a quarter of the device.
+  while (static_cast<u64>(s.units) * s.pages_per_block * kBlockSize >
+             capacity_bytes / 4 &&
+         s.pages_per_block > 64) {
+    s.pages_per_block /= 2;
+  }
+  return s;
+}
+
+struct SrcRig {
+  Geometry geo;
+  std::vector<std::unique_ptr<flash::SimSsd>> ssds;
+  std::unique_ptr<hdd::IscsiTarget> primary;
+  std::unique_ptr<src::SrcCache> cache;
+
+  [[nodiscard]] std::vector<blockdev::BlockDevice*> ssd_ptrs() const {
+    std::vector<blockdev::BlockDevice*> v;
+    for (auto& s : ssds) v.push_back(s.get());
+    return v;
+  }
+};
+
+inline std::unique_ptr<hdd::IscsiTarget> make_primary(double k) {
+  hdd::IscsiConfig cfg;
+  cfg.disk.capacity_bytes = static_cast<u64>(2000.0 * k * 1024.0) * MiB;
+  cfg.disk.track_content = false;
+  // The target server's page cache scales with the testbed (32 GB host).
+  cfg.server_cache_bytes = static_cast<u64>(24.0 * k * 1024.0) * MiB;
+  cfg.dirty_limit_bytes = static_cast<u64>(1.0 * k * 1024.0) * MiB;
+  return std::make_unique<hdd::IscsiTarget>(cfg);
+}
+
+// Builds the full SRC stack: 4 preconditioned SSDs + iSCSI primary.
+inline std::unique_ptr<SrcRig> make_src_rig(
+    const src::SrcConfig& overrides, const flash::SsdSpec& base_spec,
+    double k = scale(), bool precondition = true) {
+  auto rig = std::make_unique<SrcRig>();
+  rig->geo = Geometry::at(k);
+
+  src::SrcConfig cfg = overrides;
+  cfg.erase_group_bytes = rig->geo.erase_group_bytes;
+  cfg.chunk_bytes = rig->geo.chunk_bytes;
+  cfg.region_bytes_per_ssd = rig->geo.region_bytes_per_ssd;
+  cfg.verify_checksums = false;  // perf runs use non-tracking devices
+  cfg.twait = 10 * sim::kMs;     // see EXPERIMENTS.md (paper: 20 us)
+
+  const flash::SsdSpec spec = sized_spec(base_spec, rig->geo.ssd_capacity_bytes);
+  for (u32 i = 0; i < cfg.num_ssds; ++i) {
+    rig->ssds.push_back(
+        std::make_unique<flash::SimSsd>(spec, /*track_content=*/false));
+    if (precondition) rig->ssds.back()->precondition();
+  }
+  rig->primary = make_primary(k);
+  rig->cache =
+      std::make_unique<src::SrcCache>(cfg, rig->ssd_ptrs(), rig->primary.get());
+  rig->cache->format(0);
+  return rig;
+}
+
+inline src::SrcConfig default_src_config() {
+  src::SrcConfig cfg;  // paper defaults (Table 7 bold entries)
+  return cfg;
+}
+
+// Bcache5 / Flashcache5: the baseline over a RAID-5 of the same four SSDs
+// (§5.4 settings: 4 KiB RAID chunk, 2 MiB sets/buckets, 90% thresholds).
+struct BaselineRig {
+  Geometry geo;
+  std::vector<std::unique_ptr<flash::SimSsd>> ssds;
+  std::unique_ptr<raid::RaidDevice> raid5;
+  std::unique_ptr<hdd::IscsiTarget> primary;
+  std::unique_ptr<cache::CacheDevice> cache;
+
+  [[nodiscard]] std::vector<blockdev::BlockDevice*> ssd_ptrs() const {
+    std::vector<blockdev::BlockDevice*> v;
+    for (auto& s : ssds) v.push_back(s.get());
+    return v;
+  }
+};
+
+inline std::unique_ptr<BaselineRig> make_baseline_devices(
+    const flash::SsdSpec& base_spec, double k,
+    raid::RaidLevel level = raid::RaidLevel::kRaid5, int num_ssds = 4) {
+  auto rig = std::make_unique<BaselineRig>();
+  rig->geo = Geometry::at(k);
+  const flash::SsdSpec spec =
+      sized_spec(base_spec, rig->geo.ssd_capacity_bytes);
+  for (int i = 0; i < num_ssds; ++i) {
+    rig->ssds.push_back(
+        std::make_unique<flash::SimSsd>(spec, /*track_content=*/false));
+    rig->ssds.back()->precondition();
+  }
+  raid::RaidConfig rc{level, 1};  // 4 KiB chunks (paper's optimal for 4K RW)
+  std::vector<blockdev::BlockDevice*> members = rig->ssd_ptrs();
+  rig->raid5 = std::make_unique<raid::RaidDevice>(rc, members);
+  rig->primary = make_primary(k);
+  return rig;
+}
+
+inline u64 baseline_cache_blocks(const BaselineRig& rig) {
+  // Same cache region as SRC: 18 erase groups per SSD worth of data space.
+  const u64 data_ssds =
+      rig.raid5->config().level == raid::RaidLevel::kRaid1
+          ? rig.ssds.size() / 2
+          : (rig.raid5->config().level == raid::RaidLevel::kRaid0
+                 ? rig.ssds.size()
+                 : rig.ssds.size() - 1);
+  return data_ssds * (rig.geo.region_bytes_per_ssd / kBlockSize);
+}
+
+inline std::unique_ptr<BaselineRig> make_bcache5_rig(
+    const flash::SsdSpec& spec, double k,
+    raid::RaidLevel level = raid::RaidLevel::kRaid5) {
+  auto rig = make_baseline_devices(spec, k, level);
+  baselines::BcacheConfig cfg;
+  cfg.cache_blocks = baseline_cache_blocks(*rig);
+  cfg.bucket_blocks = 512;        // 2 MiB buckets
+  cfg.writeback_percent = 0.90;   // §5.4 setting
+  rig->cache = std::make_unique<baselines::BcacheLike>(cfg, rig->raid5.get(),
+                                                       rig->primary.get());
+  return rig;
+}
+
+inline std::unique_ptr<BaselineRig> make_flashcache5_rig(
+    const flash::SsdSpec& spec, double k,
+    raid::RaidLevel level = raid::RaidLevel::kRaid5) {
+  auto rig = make_baseline_devices(spec, k, level);
+  baselines::FlashcacheConfig cfg;
+  cfg.cache_blocks = baseline_cache_blocks(*rig);
+  cfg.set_blocks = 512;           // 2 MiB sets
+  cfg.dirty_thresh_pct = 0.90;    // §5.4 setting
+  rig->cache = std::make_unique<baselines::FlashcacheLike>(
+      cfg, rig->raid5.get(), rig->primary.get());
+  return rig;
+}
+
+// Runs one trace group against a cache and reports the paper's metrics.
+// The measurement window starts after an untimed warm-up of twice the
+// cache's data capacity, approximating the paper's long warm runs.
+inline workload::RunResult run_group(cache::CacheDevice* cache,
+                                     std::vector<blockdev::BlockDevice*> ssds,
+                                     workload::TraceGroup group, double k,
+                                     u64 seed = 42) {
+  const Geometry geo = Geometry::at(k);
+  workload::TraceSet set =
+      workload::make_trace_set(group, geo.group_footprint_bytes, seed);
+  workload::Runner runner(cache, std::move(ssds));
+  workload::RunConfig rc;
+  rc.threads_per_gen = 4;  // the paper replays each trace with 4 threads
+  rc.iodepth = 4;
+  rc.duration = run_duration();
+  rc.warmup_bytes = 2 * 3 * geo.region_bytes_per_ssd;  // ~2x data capacity
+  return runner.run(set.generators(), rc);
+}
+
+inline void print_header(const char* experiment, const char* paper_ref) {
+  std::printf("=== %s ===\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("scale=%.3g (REPRO_SCALE), duration=%.3gs virtual (REPRO_SECONDS)\n\n",
+              scale(), sim::to_seconds(run_duration()));
+}
+
+}  // namespace srcache::bench

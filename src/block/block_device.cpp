@@ -1,0 +1,2 @@
+// Anchor TU for srcache_block.
+#include "block/block_device.hpp"

@@ -1,0 +1,2 @@
+// Anchor TU for srcache_cache.
+#include "cache/cache_device.hpp"

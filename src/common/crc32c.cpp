@@ -1,0 +1,34 @@
+#include "common/crc32c.hpp"
+
+#include <array>
+
+namespace srcache::common {
+namespace {
+
+constexpr u32 kPoly = 0x82F63B78u;  // reversed Castagnoli polynomial
+
+std::array<u32, 256> make_table() {
+  std::array<u32, 256> t{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+const std::array<u32, 256>& table() {
+  static const std::array<u32, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+u32 crc32c(std::span<const u8> data, u32 seed) {
+  const auto& t = table();
+  u32 c = seed ^ 0xFFFFFFFFu;
+  for (u8 b : data) c = t[(c ^ b) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace srcache::common

@@ -1,0 +1,39 @@
+// Log-bucketed histogram for latencies and request sizes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace srcache::common {
+
+// Power-of-two bucketed histogram over u64 samples (e.g. nanoseconds or
+// bytes). Percentiles are linearly interpolated within a bucket.
+class Histogram {
+ public:
+  Histogram();
+
+  void record(u64 value);
+  void merge(const Histogram& other);
+  void reset();
+
+  [[nodiscard]] u64 count() const { return count_; }
+  [[nodiscard]] u64 min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] u64 max() const { return max_; }
+  [[nodiscard]] double mean() const;
+  // p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] std::string summary(const std::string& unit) const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::vector<u64> buckets_;
+  u64 count_ = 0;
+  u64 sum_ = 0;
+  u64 min_ = ~0ull;
+  u64 max_ = 0;
+};
+
+}  // namespace srcache::common

@@ -1,0 +1,28 @@
+// Plain-text aligned table printer used by the bench harness to emit
+// paper-style tables and figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace srcache::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  [[nodiscard]] std::string to_string() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace srcache::common

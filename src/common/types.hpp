@@ -1,0 +1,30 @@
+// Fundamental typedefs and storage units shared by every srcache module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace srcache {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+inline constexpr u64 KiB = 1024;
+inline constexpr u64 MiB = 1024 * KiB;
+inline constexpr u64 GiB = 1024 * MiB;
+
+// The universal I/O unit: the paper caches and maps data in 4 KiB blocks.
+inline constexpr u64 kBlockSize = 4 * KiB;
+
+constexpr u64 bytes_to_blocks(u64 bytes) {
+  return (bytes + kBlockSize - 1) / kBlockSize;
+}
+constexpr u64 blocks_to_bytes(u64 blocks) { return blocks * kBlockSize; }
+
+constexpr u64 div_ceil(u64 a, u64 b) { return (a + b - 1) / b; }
+
+}  // namespace srcache

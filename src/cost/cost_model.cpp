@@ -1,0 +1,27 @@
+#include "cost/cost_model.hpp"
+
+#include <stdexcept>
+
+namespace srcache::cost {
+
+double lifetime_days(const ArrayConfig& array, double daily_write_bytes,
+                     double write_amplification) {
+  if (daily_write_bytes <= 0.0 || write_amplification <= 0.0)
+    throw std::invalid_argument("lifetime_days: non-positive inputs");
+  const double endurance_bytes =
+      static_cast<double>(array.spec.endurance_cycles) *
+      array.total_capacity_bytes();
+  return endurance_bytes / (daily_write_bytes * write_amplification);
+}
+
+CostReport evaluate(const ArrayConfig& array, double throughput_mbps,
+                    double daily_write_bytes, double write_amplification) {
+  CostReport r;
+  r.throughput_mbps = throughput_mbps;
+  r.mbps_per_dollar = throughput_mbps / array.total_price();
+  r.lifetime_days = lifetime_days(array, daily_write_bytes, write_amplification);
+  r.lifetime_days_per_dollar = r.lifetime_days / array.total_price();
+  return r;
+}
+
+}  // namespace srcache::cost

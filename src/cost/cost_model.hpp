@@ -1,0 +1,46 @@
+// Cost-effectiveness model (§5.3, Fig. 6): throughput per dollar and
+// expected lifetime per dollar for SSD-array configurations, using the
+// lifetime-estimation approach of Jeong et al. [23]: a drive lasts until
+// its rated P/E cycles are consumed by (daily host writes × total write
+// amplification) spread over its capacity.
+#pragma once
+
+#include <vector>
+
+#include "flash/ssd_specs.hpp"
+
+namespace srcache::cost {
+
+struct ArrayConfig {
+  flash::SsdSpec spec;
+  int count = 4;
+
+  [[nodiscard]] double total_price() const {
+    return spec.price_usd * count;
+  }
+  [[nodiscard]] double total_capacity_bytes() const {
+    return static_cast<double>(spec.capacity_bytes) * count;
+  }
+  [[nodiscard]] double gb_per_dollar() const {
+    return total_capacity_bytes() / 1e9 / total_price();
+  }
+};
+
+struct CostReport {
+  double throughput_mbps = 0.0;
+  double mbps_per_dollar = 0.0;
+  double lifetime_days = 0.0;
+  double lifetime_days_per_dollar = 0.0;
+};
+
+// `daily_write_bytes` is the host-side volume the cache absorbs per day
+// (the paper assumes 512 GB/day); `write_amplification` is the measured
+// ratio of NAND program bytes to application write bytes (cache-layer
+// amplification × FTL amplification).
+double lifetime_days(const ArrayConfig& array, double daily_write_bytes,
+                     double write_amplification);
+
+CostReport evaluate(const ArrayConfig& array, double throughput_mbps,
+                    double daily_write_bytes, double write_amplification);
+
+}  // namespace srcache::cost

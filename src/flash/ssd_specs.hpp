@@ -1,0 +1,72 @@
+// Calibrated SSD profiles.
+//
+// Each profile corresponds to a product class from the paper's Tables 4 and
+// 12. The timing knobs are calibrated so the simulated device reproduces the
+// spec-sheet numbers (sequential read/write MB/s, 4 KiB random read/write
+// IOPS) within a few percent; tests/flash/ssd_calibration_test.cpp asserts
+// this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/time.hpp"
+
+namespace srcache::flash {
+
+struct SsdSpec {
+  std::string name;
+  std::string interface;  // "SATA" or "NVMe"
+  std::string nand;       // "MLC" or "TLC"
+
+  u64 capacity_bytes = 128 * GiB;
+  double interface_mbps = 550.0;     // host link bandwidth
+  int controller_lanes = 1;          // parallel command processors
+  sim::SimTime command_overhead = 10 * sim::kUs;  // per-command controller cost
+
+  int units = 32;                    // channels × dies
+  u64 pages_per_block = 2048;        // 4 KiB pages (8 MiB flash block)
+  sim::SimTime read_latency = 60 * sim::kUs;
+  sim::SimTime program_latency = 340 * sim::kUs;
+  sim::SimTime erase_latency = 8 * sim::kMs;
+  double ops_fraction = 0.07;
+
+  u64 write_buffer_bytes = 8 * MiB;
+  sim::SimTime flush_barrier = 4 * sim::kMs;
+
+  u32 endurance_cycles = 3000;       // rated P/E cycles
+  double price_usd = 0.0;
+  int year_released = 0;
+
+  // Erase group size (§3.3): the write unit at which sustained performance
+  // is reached — all parallel blocks filled and recycled together.
+  [[nodiscard]] u64 erase_group_bytes() const {
+    return static_cast<u64>(units) * pages_per_block * kBlockSize;
+  }
+  // Peak NAND program bandwidth in MB/s (decimal), before interface caps.
+  [[nodiscard]] double nand_write_mbps() const {
+    return static_cast<double>(units) * static_cast<double>(kBlockSize) * 1e3 /
+           static_cast<double>(program_latency);
+  }
+
+  // Returns a copy with capacity (and write buffer) scaled by `factor`,
+  // used to run paper-shaped experiments at laptop scale.
+  [[nodiscard]] SsdSpec scaled(double factor) const;
+};
+
+// The prototype cache device: Samsung 840 Pro 128 GB class (Table 1),
+// erase group 256 MiB (Fig. 2), SATA 3.0.
+SsdSpec spec_840pro_128();
+
+// Table 12 product classes (prices are per-drive, from the paper).
+SsdSpec spec_a_mlc_sata();   // company A, MLC, 128 GB, $104.5
+SsdSpec spec_a_tlc_sata();   // company A, TLC, 120 GB, $68
+SsdSpec spec_b_mlc_sata();   // company B, MLC, 128 GB, $93.5
+SsdSpec spec_b_tlc_sata();   // company B, TLC, 128 GB, $56.25
+SsdSpec spec_c_mlc_nvme();   // company C, MLC, 400 GB NVMe, $469
+
+// All five Table 12 entries in presentation order.
+std::vector<SsdSpec> table12_catalog();
+
+}  // namespace srcache::flash

@@ -1,0 +1,97 @@
+// IscsiTarget: the paper's primary storage — a RAID-10 volume of eight
+// 7.2K-RPM disks exported over a 1 Gbps iSCSI link (Table 1).
+//
+// The target is a Linux storage server, so it has a page cache: reads that
+// hit server RAM are served at link speed, and writes are absorbed into
+// RAM (bounded by a dirty limit) and drained to the disks by a background
+// writeback path. Without this, no mechanical array could absorb the
+// destage rates the paper sustains.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "block/block_device.hpp"
+#include "hdd/sim_hdd.hpp"
+#include "raid/raid_device.hpp"
+#include "sim/timeline.hpp"
+
+namespace srcache::hdd {
+
+struct IscsiConfig {
+  int num_disks = 8;
+  HddConfig disk;
+  double link_mbps = 117.0;             // 1 Gbps effective
+  sim::SimTime rtt = 300 * sim::kUs;    // per-command network round trip
+  u32 chunk_blocks = 16;                // RAID-10 chunk (64 KiB)
+  // Server page cache (the paper's target host has 32 GB RAM).
+  u64 server_cache_bytes = 24 * GiB;
+  // Writes beyond this un-drained backlog block at disk speed.
+  u64 dirty_limit_bytes = 4 * GiB;
+};
+
+class IscsiTarget final : public blockdev::BlockDevice {
+ public:
+  explicit IscsiTarget(const IscsiConfig& cfg);
+
+  [[nodiscard]] u64 capacity_blocks() const override;
+
+  blockdev::IoResult read(SimTime now, u64 lba, u32 n,
+                          std::span<u64> tags_out) override;
+  blockdev::IoResult write(SimTime now, u64 lba, u32 n,
+                           std::span<const u64> tags) override;
+  blockdev::IoResult write_payload(SimTime now, u64 lba,
+                                   blockdev::Payload payload) override;
+  Result<blockdev::Payload> read_payload(SimTime now, u64 lba,
+                                         SimTime* done) override;
+  blockdev::IoResult flush(SimTime now) override;
+  blockdev::IoResult trim(SimTime now, u64 lba, u64 n) override;
+
+  [[nodiscard]] const blockdev::DeviceStats& stats() const override {
+    return stats_;
+  }
+
+  void set_background(bool background) override { background_ = background; }
+
+  void fail() override { failed_ = true; }
+  void heal() override { failed_ = false; }
+  [[nodiscard]] bool failed() const override {
+    return failed_ || volume_->failed();
+  }
+  void corrupt(u64 lba) override { volume_->corrupt(lba); }
+
+  [[nodiscard]] raid::RaidDevice& volume() { return *volume_; }
+  // Member-disk access for fault-injection tests.
+  [[nodiscard]] SimHdd& disk(size_t i) { return *disks_.at(i); }
+  [[nodiscard]] size_t num_disks() const { return disks_.size(); }
+  // Server page-cache hit counters (for model sanity checks).
+  [[nodiscard]] u64 ram_hits() const { return ram_hits_; }
+  [[nodiscard]] u64 ram_misses() const { return ram_misses_; }
+
+ private:
+  SimTime link_transfer(SimTime now, u64 bytes);
+  // Two-generation LRU approximation over 4 KiB blocks (lba -> tag).
+  [[nodiscard]] bool cache_lookup(u64 lba, u64* tag) const;
+  void cache_insert(u64 lba, u64 tag);
+  // Admission-controlled write-back: absorbs bytes into server RAM, drains
+  // to the volume in the background; returns the admission time.
+  SimTime absorb_write(SimTime now, SimTime drained_at, u64 bytes);
+
+  IscsiConfig cfg_;
+  std::vector<std::unique_ptr<SimHdd>> disks_;
+  std::unique_ptr<raid::RaidDevice> volume_;
+  sim::PriorityTimeline link_;
+  bool background_ = false;
+  bool failed_ = false;
+
+  std::unordered_map<u64, u64> gen_cur_, gen_prev_;
+  u64 gen_capacity_blocks_;
+  std::deque<std::pair<SimTime, u64>> pending_;  // (drain done, bytes)
+  u64 pending_bytes_ = 0;
+  u64 ram_hits_ = 0, ram_misses_ = 0;
+  blockdev::DeviceStats stats_;
+};
+
+}  // namespace srcache::hdd

@@ -1,0 +1,34 @@
+// Virtual time. All srcache simulation timestamps and durations are integer
+// nanoseconds; helper literals keep device parameter tables readable.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace srcache::sim {
+
+// A point in virtual time (ns since simulation start) or a duration (ns).
+using SimTime = i64;
+
+inline constexpr SimTime kNs = 1;
+inline constexpr SimTime kUs = 1000 * kNs;
+inline constexpr SimTime kMs = 1000 * kUs;
+inline constexpr SimTime kSec = 1000 * kMs;
+
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+constexpr double to_ms(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_us(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+// Throughput helper: bytes moved over a virtual interval, in MB/s (decimal
+// megabytes, matching how the paper and vendor spec sheets report bandwidth).
+constexpr double mb_per_sec(u64 bytes, SimTime interval) {
+  if (interval <= 0) return 0.0;
+  return static_cast<double>(bytes) / 1e6 / to_seconds(interval);
+}
+
+// Duration to move `bytes` at `mbps` decimal-MB/s.
+constexpr SimTime transfer_time(u64 bytes, double mbps) {
+  if (mbps <= 0.0) return 0;
+  return static_cast<SimTime>(static_cast<double>(bytes) * 1e3 / mbps);
+}
+
+}  // namespace srcache::sim

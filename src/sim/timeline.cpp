@@ -1,0 +1,2 @@
+// Intentionally header-only logic; this TU anchors the srcache_sim library.
+#include "sim/timeline.hpp"

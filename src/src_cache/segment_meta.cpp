@@ -1,0 +1,124 @@
+#include "src_cache/segment_meta.hpp"
+
+#include <cstring>
+
+namespace srcache::src {
+
+namespace {
+
+void put_u64(std::vector<u8>& out, u64 v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+void put_u32(std::vector<u8>& out, u32 v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<u8>& buf) : buf_(buf) {}
+  bool u64v(u64* v) {
+    if (pos_ + 8 > buf_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= static_cast<u64>(buf_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return true;
+  }
+  bool u32v(u32* v) {
+    if (pos_ + 4 > buf_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= static_cast<u32>(buf_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return true;
+  }
+  [[nodiscard]] size_t pos() const { return pos_; }
+
+ private:
+  const std::vector<u8>& buf_;
+  size_t pos_ = 0;
+};
+
+void append_crc(std::vector<u8>& buf) {
+  const u32 crc = common::crc32c(std::span<const u8>(buf.data(), buf.size()));
+  put_u32(buf, crc);
+}
+
+bool check_crc(const std::vector<u8>& buf) {
+  if (buf.size() < 4) return false;
+  const u32 stored = static_cast<u32>(buf[buf.size() - 4]) |
+                     static_cast<u32>(buf[buf.size() - 3]) << 8 |
+                     static_cast<u32>(buf[buf.size() - 2]) << 16 |
+                     static_cast<u32>(buf[buf.size() - 1]) << 24;
+  const u32 actual =
+      common::crc32c(std::span<const u8>(buf.data(), buf.size() - 4));
+  return stored == actual;
+}
+
+}  // namespace
+
+blockdev::Payload SegmentMeta::serialize() const {
+  auto buf = std::make_shared<std::vector<u8>>();
+  buf->reserve(48 + entries.size() * 12 + 4);
+  put_u64(*buf, kSegmentMetaMagic);
+  put_u64(*buf, generation);
+  put_u32(*buf, sg);
+  put_u32(*buf, seg);
+  put_u32(*buf, (dirty ? 1u : 0u) | (has_parity ? 2u : 0u) |
+                    (is_tail ? 4u : 0u) | (static_cast<u32>(parity_col) << 8));
+  put_u32(*buf, static_cast<u32>(entries.size()));
+  for (const Entry& e : entries) {
+    put_u64(*buf, e.lba);
+    put_u32(*buf, e.crc);
+  }
+  append_crc(*buf);
+  return buf;
+}
+
+std::optional<SegmentMeta> SegmentMeta::deserialize(const blockdev::Payload& p) {
+  if (!p || !check_crc(*p)) return std::nullopt;
+  Reader r(*p);
+  u64 magic = 0;
+  SegmentMeta m;
+  u32 flags = 0, count = 0;
+  if (!r.u64v(&magic) || magic != kSegmentMetaMagic) return std::nullopt;
+  if (!r.u64v(&m.generation) || !r.u32v(&m.sg) || !r.u32v(&m.seg) ||
+      !r.u32v(&flags) || !r.u32v(&count)) {
+    return std::nullopt;
+  }
+  m.dirty = (flags & 1u) != 0;
+  m.has_parity = (flags & 2u) != 0;
+  m.is_tail = (flags & 4u) != 0;
+  m.parity_col = static_cast<u8>(flags >> 8);
+  m.entries.resize(count);
+  for (u32 i = 0; i < count; ++i) {
+    if (!r.u64v(&m.entries[i].lba) || !r.u32v(&m.entries[i].crc)) return std::nullopt;
+  }
+  return m;
+}
+
+blockdev::Payload Superblock::serialize() const {
+  auto buf = std::make_shared<std::vector<u8>>();
+  put_u64(*buf, kSuperblockMagic);
+  put_u64(*buf, create_seq);
+  put_u32(*buf, num_ssds);
+  put_u64(*buf, erase_group_bytes);
+  put_u64(*buf, chunk_bytes);
+  put_u64(*buf, region_bytes_per_ssd);
+  append_crc(*buf);
+  return buf;
+}
+
+std::optional<Superblock> Superblock::deserialize(const blockdev::Payload& p) {
+  if (!p || !check_crc(*p)) return std::nullopt;
+  Reader r(*p);
+  u64 magic = 0;
+  Superblock s;
+  if (!r.u64v(&magic) || magic != kSuperblockMagic) return std::nullopt;
+  if (!r.u64v(&s.create_seq) || !r.u32v(&s.num_ssds) ||
+      !r.u64v(&s.erase_group_bytes) || !r.u64v(&s.chunk_bytes) ||
+      !r.u64v(&s.region_bytes_per_ssd)) {
+    return std::nullopt;
+  }
+  return s;
+}
+
+}  // namespace srcache::src

@@ -1,0 +1,654 @@
+#include "src_cache/src_cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/crc32c.hpp"
+
+namespace srcache::src {
+
+namespace {
+// CPU cost of staging one block into a segment buffer / serving from RAM.
+constexpr SimTime kStageCost = 1 * sim::kUs;
+constexpr SimTime kRamReadCost = 500 * sim::kNs;
+}  // namespace
+
+const char* to_string(GcPolicy p) {
+  return p == GcPolicy::kS2D ? "S2D" : "Sel-GC";
+}
+const char* to_string(VictimPolicy p) {
+  switch (p) {
+    case VictimPolicy::kFifo: return "FIFO";
+    case VictimPolicy::kGreedy: return "Greedy";
+    case VictimPolicy::kCostBenefit: return "CostBenefit";
+  }
+  return "?";
+}
+const char* to_string(SrcRaidLevel l) {
+  switch (l) {
+    case SrcRaidLevel::kRaid0: return "RAID-0";
+    case SrcRaidLevel::kRaid1: return "RAID-1";
+    case SrcRaidLevel::kRaid4: return "RAID-4";
+    case SrcRaidLevel::kRaid5: return "RAID-5";
+  }
+  return "?";
+}
+const char* to_string(CleanRedundancy c) {
+  return c == CleanRedundancy::kPC ? "PC" : "NPC";
+}
+const char* to_string(FlushControl f) {
+  return f == FlushControl::kPerSegment ? "per-segment" : "per-SG";
+}
+
+std::string SrcConfig::describe() const {
+  std::string s = "SRC{";
+  s += std::to_string(num_ssds) + " SSDs, EG ";
+  s += std::to_string(erase_group_bytes / MiB) + "MiB, ";
+  s += to_string(raid);
+  s += ", ";
+  s += to_string(clean_redundancy);
+  s += ", ";
+  s += to_string(gc);
+  s += "/";
+  s += to_string(victim);
+  s += ", umax " + std::to_string(static_cast<int>(umax * 100)) + "%, flush ";
+  s += to_string(flush_control);
+  s += "}";
+  return s;
+}
+
+SrcCache::SrcCache(const SrcConfig& cfg, std::vector<BlockDevice*> ssds,
+                   BlockDevice* primary)
+    : cfg_(cfg), ssds_(std::move(ssds)), primary_(primary) {
+  cfg_.validate();
+  if (ssds_.size() != cfg_.num_ssds)
+    throw std::invalid_argument("SRC: device count != config");
+  const u64 region_blocks = cfg_.region_bytes_per_ssd / kBlockSize;
+  for (auto* d : ssds_) {
+    if (d->capacity_blocks() < cfg_.region_start_block + region_blocks)
+      throw std::invalid_argument("SRC: SSD smaller than cache region");
+  }
+  sgs_.resize(cfg_.sg_count());
+  for (auto& sg : sgs_) sg.segs.resize(cfg_.segments_per_sg());
+}
+
+// --- geometry ---------------------------------------------------------------
+
+u64 SrcCache::sg_base_block(u32 sg) const {
+  return cfg_.region_start_block + static_cast<u64>(sg) * cfg_.eg_blocks();
+}
+
+u64 SrcCache::chunk_base_block(u32 sg, u32 seg) const {
+  return sg_base_block(sg) + static_cast<u64>(seg) * cfg_.chunk_blocks();
+}
+
+u64 SrcCache::seg_data_cols(const SegmentInfo& si) const {
+  if (cfg_.raid == SrcRaidLevel::kRaid1) return cfg_.num_ssds / 2;
+  return si.has_parity ? cfg_.num_ssds - 1 : cfg_.num_ssds;
+}
+
+SrcCache::SlotAddr SrcCache::addr_of(u32 sg, u32 seg, u32 slot,
+                                     const SegmentInfo& si) const {
+  const u64 rows = cfg_.slots_per_chunk();
+  const u64 col = slot / rows;  // column-major: each column is one SSD chunk
+  const u64 row = slot % rows;
+  size_t dev;
+  size_t mirror = SIZE_MAX;
+  if (cfg_.raid == SrcRaidLevel::kRaid1) {
+    dev = static_cast<size_t>(col);
+    mirror = dev + cfg_.num_ssds / 2;
+  } else if (si.has_parity && col >= si.parity_col) {
+    dev = static_cast<size_t>(col) + 1;
+  } else {
+    dev = static_cast<size_t>(col);
+  }
+  // +1 skips the MS block at the chunk head.
+  return {dev, chunk_base_block(sg, seg) + 1 + row, mirror};
+}
+
+u64 SrcCache::buffer_capacity(bool dirty_type) const {
+  return cfg_.segment_data_slots(dirty_type);
+}
+
+double SrcCache::utilization() const {
+  const u64 cap = cfg_.capacity_blocks();
+  return cap == 0 ? 0.0
+                  : static_cast<double>(live_total_) / static_cast<double>(cap);
+}
+
+SrcCache::Residence SrcCache::residence(u64 lba) const {
+  auto it = map_.find(lba);
+  if (it == map_.end()) return Residence::kAbsent;
+  const MapEntry& e = it->second;
+  if (e.buffered())
+    return e.dirty() ? Residence::kDirtyBuffer : Residence::kCleanBuffer;
+  return e.dirty() ? Residence::kCachedDirty : Residence::kCachedClean;
+}
+
+// --- lifecycle --------------------------------------------------------------
+
+SimTime SrcCache::format(SimTime now) {
+  Superblock sb;
+  sb.create_seq = 1;
+  sb.num_ssds = cfg_.num_ssds;
+  sb.erase_group_bytes = cfg_.erase_group_bytes;
+  sb.chunk_bytes = cfg_.chunk_bytes;
+  sb.region_bytes_per_ssd = cfg_.region_bytes_per_ssd;
+  const auto payload = sb.serialize();
+  SimTime done = now;
+  for (auto* d : ssds_) {
+    auto r = d->write_payload(now, sg_base_block(0), payload);
+    if (r.ok()) done = std::max(done, r.done);
+  }
+  // SG 0 holds the superblock and is never written again (§4.1).
+  sgs_[0].state = SgState::kSuper;
+  free_sgs_.clear();
+  for (u32 s = 1; s < cfg_.sg_count(); ++s) {
+    sgs_[s] = SgInfo{};
+    sgs_[s].segs.resize(cfg_.segments_per_sg());
+    free_sgs_.push_back(s);
+  }
+  done = flush_all_ssds(done);
+  return done;
+}
+
+SimTime SrcCache::flush_all_ssds(SimTime now) {
+  SimTime done = now;
+  for (auto* d : ssds_) {
+    if (d->failed()) continue;
+    auto r = d->flush(now);
+    if (r.ok()) done = std::max(done, r.done);
+  }
+  extra_.flushes_issued++;
+  return done;
+}
+
+// --- bookkeeping ------------------------------------------------------------
+
+void SrcCache::invalidate_slot(u64 lba, const MapEntry& e) {
+  (void)lba;
+  if (e.buffered()) {
+    SegBuffer& buf = e.dirty() ? dirty_buf_ : clean_buf_;
+    buf.lbas[e.slot] = kDeadSlot;
+    buf.live--;
+    return;
+  }
+  SgInfo& sg = sgs_[e.sg];
+  SegmentInfo& si = sg.segs[e.seg];
+  si.slot_lba[e.slot] = kDeadSlot;
+  si.live--;
+  sg.live--;
+  live_total_--;
+}
+
+// --- app entry points -------------------------------------------------------
+
+SimTime SrcCache::submit(const cache::AppRequest& req) {
+  maybe_timeout_partial(req.now);
+  return req.is_write ? do_write(req) : do_read(req);
+}
+
+void SrcCache::maybe_timeout_partial(SimTime now) {
+  // Partial-segment timeout (§4.1): if no write arrived for TWAIT and dirty
+  // data is buffered, seal what we have to bound the loss window.
+  if (dirty_buf_.lbas.empty()) return;
+  if (now - last_dirty_stage_ <= cfg_.twait) return;
+  seal_buffer(now, /*dirty_type=*/true, /*force_partial=*/true);
+}
+
+SimTime SrcCache::flush(SimTime now) {
+  stats_.app_flushes++;
+  seal_buffer(now, /*dirty_type=*/true, /*force_partial=*/true);
+  return flush_all_ssds(now);
+}
+
+SimTime SrcCache::throttle(SimTime now, SimTime ack) {
+  while (!inflight_.empty() && inflight_.front() <= now) inflight_.pop_front();
+  while (inflight_.size() >= cfg_.max_inflight_segment_writes) {
+    ack = std::max(ack, inflight_.front());
+    inflight_.pop_front();
+  }
+  return ack;
+}
+
+// --- write path -------------------------------------------------------------
+
+void SrcCache::stage_dirty(u64 lba, u64 tag, SimTime now) {
+  auto it = map_.find(lba);
+  if (it != map_.end()) {
+    MapEntry& e = it->second;
+    if (e.buffered() && e.dirty()) {
+      dirty_buf_.tags[e.slot] = tag;  // overwrite in place
+      e.flags |= kFlagHot;
+      return;
+    }
+    invalidate_slot(lba, e);
+    e.sg = kBufferSg;
+    e.seg = 0;
+    e.slot = static_cast<u32>(dirty_buf_.lbas.size());
+    e.flags = kFlagDirty | kFlagHot;  // a rewrite makes the block hot
+  } else {
+    MapEntry e;
+    e.sg = kBufferSg;
+    e.slot = static_cast<u32>(dirty_buf_.lbas.size());
+    e.flags = kFlagDirty;
+    map_.emplace(lba, e);
+  }
+  dirty_buf_.lbas.push_back(lba);
+  dirty_buf_.tags.push_back(tag);
+  dirty_buf_.live++;
+  last_dirty_stage_ = now;
+}
+
+void SrcCache::stage_clean(u64 lba, u64 tag, SimTime now) {
+  (void)now;
+  auto it = map_.find(lba);
+  if (it != map_.end()) {
+    // Raced with a write or a duplicate fetch; the cached copy wins.
+    return;
+  }
+  MapEntry e;
+  e.sg = kBufferSg;
+  e.slot = static_cast<u32>(clean_buf_.lbas.size());
+  e.flags = 0;
+  map_.emplace(lba, e);
+  clean_buf_.lbas.push_back(lba);
+  clean_buf_.tags.push_back(tag);
+  clean_buf_.live++;
+}
+
+SimTime SrcCache::drain_buffers(SimTime now) {
+  SimTime done = now;
+  done = std::max(done, seal_buffer(now, /*dirty_type=*/true, false));
+  done = std::max(done, seal_buffer(now, /*dirty_type=*/false, false));
+  return done;
+}
+
+SimTime SrcCache::do_write(const cache::AppRequest& req) {
+  const SimTime now = req.now;
+  stats_.app_write_ops++;
+  stats_.app_write_blocks += req.nblocks;
+  for (u32 i = 0; i < req.nblocks; ++i) {
+    const u64 lba = req.lba + i;
+    const u64 tag = req.tags != nullptr
+                        ? req.tags[i]
+                        : blockdev::make_tag(lba, ++tag_version_);
+    if (map_.contains(lba)) {
+      stats_.write_hit_blocks++;
+    } else {
+      stats_.write_new_blocks++;
+    }
+    stage_dirty(lba, tag, now);
+  }
+  drain_buffers(now);
+  // Writes are acknowledged once staged in the segment buffer (§4.1); the
+  // in-flight throttle applies device back-pressure.
+  SimTime ack = now + kStageCost * req.nblocks;
+  ack = throttle(now, ack);
+  return ack;
+}
+
+// --- segment sealing --------------------------------------------------------
+
+u32 SrcCache::allocate_sg(SimTime now) {
+  if (!in_gc_) ensure_free_sg(now);
+  if (free_sgs_.empty()) reclaim_one(now, /*force_s2d=*/true);
+  if (free_sgs_.empty())
+    throw std::logic_error("SRC: no reclaimable segment group");
+  const u32 sg = free_sgs_.front();
+  free_sgs_.pop_front();
+  sgs_[sg].state = SgState::kActive;
+  sgs_[sg].next_seg = 0;
+  return sg;
+}
+
+SimTime SrcCache::seal_buffer(SimTime now, bool dirty_type, bool force_partial) {
+  SegBuffer& buf = dirty_type ? dirty_buf_ : clean_buf_;
+  const u64 cap = buffer_capacity(dirty_type);
+  SimTime done = now;
+  // Drain full segments; GC triggered by SG allocation below may append
+  // further entries, which this loop absorbs.
+  while (buf.lbas.size() >= cap)
+    done = std::max(done, write_one_segment(now, dirty_type, cap));
+  if (force_partial && !buf.lbas.empty())
+    done = std::max(done, write_one_segment(now, dirty_type, buf.lbas.size()));
+  return done;
+}
+
+SimTime SrcCache::write_one_segment(SimTime now, bool dirty_type, u64 count) {
+  SegBuffer& buf = dirty_type ? dirty_buf_ : clean_buf_;
+  const u64 capacity = buffer_capacity(dirty_type);
+  count = std::min<u64>({count, capacity, buf.lbas.size()});
+  if (count == 0) return now;
+
+  // Take the front `count` entries by value; re-index what remains so GC
+  // appends (during SG allocation) see a consistent buffer.
+  std::vector<u64> taken_lba(buf.lbas.begin(),
+                             buf.lbas.begin() + static_cast<long>(count));
+  std::vector<u64> taken_tag(buf.tags.begin(),
+                             buf.tags.begin() + static_cast<long>(count));
+  buf.lbas.erase(buf.lbas.begin(), buf.lbas.begin() + static_cast<long>(count));
+  buf.tags.erase(buf.tags.begin(), buf.tags.begin() + static_cast<long>(count));
+  u32 taken_live = 0;
+  for (u64 lba : taken_lba)
+    if (lba != kDeadSlot) ++taken_live;
+  buf.live -= taken_live;
+  for (u32 i = 0; i < buf.lbas.size(); ++i) {
+    if (buf.lbas[i] != kDeadSlot) map_.at(buf.lbas[i]).slot = i;
+  }
+
+  // Allocating the SG may run GC; by now the taken entries are private and
+  // GC can only touch the (re-indexed) buffer tail.
+  if (active_sg_ == kBufferSg) active_sg_ = allocate_sg(now);
+  SgInfo& sg = sgs_[active_sg_];
+  // A freshly reclaimed SG is only writable once its destages reached
+  // primary storage — destage pressure throttles foreground writes here.
+  const SimTime issue = std::max(now, sg.ready_at);
+  const u32 seg = sg.next_seg++;
+  SegmentInfo& si = sg.segs[seg];
+
+  si.type = dirty_type ? SegType::kDirty : SegType::kClean;
+  si.has_parity = cfg_.segment_has_parity(dirty_type);
+  si.generation = ++gen_seq_;
+  si.parity_col = 0;
+  if (si.has_parity && cfg_.raid != SrcRaidLevel::kRaid1) {
+    si.parity_col = cfg_.raid == SrcRaidLevel::kRaid4
+                        ? static_cast<u8>(cfg_.num_ssds - 1)
+                        : static_cast<u8>(gen_seq_ % cfg_.num_ssds);
+  }
+  si.slot_lba = taken_lba;
+  si.slot_lba.resize(capacity, kDeadSlot);
+  si.slot_crc.assign(capacity, 0);
+  si.live = taken_live;
+  sg.live += taken_live;
+  live_total_ += taken_live;
+
+  // Per-device tag images (column-major slot layout; see addr_of).
+  const u64 rows = cfg_.slots_per_chunk();
+  const u64 ncols = seg_data_cols(si);
+  std::vector<std::vector<u64>> images(cfg_.num_ssds,
+                                       std::vector<u64>(rows, 0));
+  SegmentMeta meta;
+  meta.generation = si.generation;
+  meta.sg = active_sg_;
+  meta.seg = seg;
+  meta.dirty = dirty_type;
+  meta.has_parity = si.has_parity;
+  meta.parity_col = si.parity_col;
+  meta.entries.resize(capacity);
+
+  for (u32 s = 0; s < capacity; ++s) {
+    const u64 lba = si.slot_lba[s];
+    const u64 tag = s < taken_tag.size() ? taken_tag[s] : 0;
+    const u64 col = s / rows;
+    const u64 row = s % rows;
+    size_t dev;
+    if (cfg_.raid == SrcRaidLevel::kRaid1) {
+      dev = static_cast<size_t>(col);
+    } else if (si.has_parity && col >= si.parity_col) {
+      dev = static_cast<size_t>(col) + 1;
+    } else {
+      dev = static_cast<size_t>(col);
+    }
+    images[dev][row] = tag;
+    if (cfg_.raid == SrcRaidLevel::kRaid1) images[dev + ncols][row] = tag;
+    meta.entries[s].lba = lba;
+    if (lba != kDeadSlot) {
+      const u32 crc = common::crc32c_of(tag);
+      si.slot_crc[s] = crc;
+      meta.entries[s].crc = crc;
+      // Relocate the mapping from the buffer to the sealed slot.
+      MapEntry& e = map_.at(lba);
+      e.sg = active_sg_;
+      e.seg = seg;
+      e.slot = s;
+    }
+  }
+  if (si.has_parity && cfg_.raid != SrcRaidLevel::kRaid1) {
+    auto& parity = images[si.parity_col];
+    for (size_t d = 0; d < ssds_.size(); ++d) {
+      if (d == si.parity_col) continue;
+      for (u64 r = 0; r < rows; ++r) parity[r] ^= images[d][r];
+    }
+  }
+
+  // Issue the stripe: MS + data + ME per SSD, all in parallel (§4.1).
+  const u64 base = chunk_base_block(active_sg_, seg);
+  meta.is_tail = false;
+  const auto ms_payload = meta.serialize();
+  meta.is_tail = true;
+  const auto me_payload = meta.serialize();
+  SimTime done = issue;
+  for (size_t d = 0; d < ssds_.size(); ++d) {
+    BlockDevice* dev = ssds_[d];
+    if (dev->failed()) continue;
+    auto rms = dev->write_payload(issue, base, ms_payload);
+    if (rms.ok()) done = std::max(done, rms.done);
+    if (crash_point_ == CrashPoint::kAfterMs) continue;
+    auto rdata = dev->write(issue, base + 1, static_cast<u32>(rows),
+                            std::span<const u64>(images[d].data(), rows));
+    if (rdata.ok()) done = std::max(done, rdata.done);
+    if (crash_point_ == CrashPoint::kAfterData) continue;
+    auto rme = dev->write_payload(issue, base + 1 + rows, me_payload);
+    if (rme.ok()) done = std::max(done, rme.done);
+  }
+
+  extra_.segments_written++;
+  if (dirty_type) {
+    extra_.dirty_segments++;
+    if (count < capacity) extra_.partial_segments++;
+  } else {
+    extra_.clean_segments++;
+  }
+
+  const bool sg_full = sg.next_seg >= cfg_.segments_per_sg();
+  if (cfg_.flush_control == FlushControl::kPerSegment) {
+    done = flush_all_ssds(done);
+  } else if (sg_full) {
+    done = flush_all_ssds(done);
+  }
+  if (sg_full) {
+    sg.state = SgState::kSealed;
+    sg.seal_seq = ++seal_seq_;
+    active_sg_ = kBufferSg;
+  }
+  inflight_.push_back(done);
+  return done;
+}
+
+// --- read path --------------------------------------------------------------
+
+SimTime SrcCache::do_read(const cache::AppRequest& req) {
+  const SimTime now = req.now;
+  stats_.app_read_ops++;
+  stats_.app_read_blocks += req.nblocks;
+  SimTime done = now + kRamReadCost * req.nblocks;
+
+  struct SsdRead {
+    size_t dev;
+    u64 block;
+    u32 idx;  // request block index
+    u32 sg, seg, slot;
+  };
+  std::vector<SsdRead> ssd_reads;
+  std::vector<std::pair<u64, u32>> miss_runs;  // (lba, count)
+
+  for (u32 i = 0; i < req.nblocks; ++i) {
+    const u64 lba = req.lba + i;
+    auto it = map_.find(lba);
+    if (it == map_.end()) {
+      stats_.read_miss_blocks++;
+      if (!miss_runs.empty() &&
+          miss_runs.back().first + miss_runs.back().second == lba) {
+        miss_runs.back().second++;
+      } else {
+        miss_runs.emplace_back(lba, 1);
+      }
+      continue;
+    }
+    MapEntry& e = it->second;
+    e.flags |= kFlagHot;
+    stats_.read_hit_blocks++;
+    if (e.buffered()) {
+      const SegBuffer& buf = e.dirty() ? dirty_buf_ : clean_buf_;
+      if (req.tags_out != nullptr) req.tags_out[i] = buf.tags[e.slot];
+      continue;
+    }
+    const SegmentInfo& si = sgs_[e.sg].segs[e.seg];
+    SlotAddr a = addr_of(e.sg, e.seg, e.slot, si);
+    if (ssds_[a.dev]->failed() && a.mirror_dev != SIZE_MAX &&
+        !ssds_[a.mirror_dev]->failed()) {
+      a.dev = a.mirror_dev;
+    }
+    ssd_reads.push_back({a.dev, a.block, i, e.sg, e.seg, e.slot});
+  }
+
+  // Batched cache-hit reads: contiguous per-device runs become one command.
+  std::sort(ssd_reads.begin(), ssd_reads.end(),
+            [](const SsdRead& a, const SsdRead& b) {
+              return a.dev != b.dev ? a.dev < b.dev : a.block < b.block;
+            });
+  std::vector<u64> buf;
+  size_t i = 0;
+  while (i < ssd_reads.size()) {
+    size_t j = i + 1;
+    while (j < ssd_reads.size() && ssd_reads[j].dev == ssd_reads[i].dev &&
+           ssd_reads[j].block == ssd_reads[j - 1].block + 1) {
+      ++j;
+    }
+    const size_t cnt = j - i;
+    buf.resize(cnt);
+    auto r = ssds_[ssd_reads[i].dev]->read(now, ssd_reads[i].block,
+                                           static_cast<u32>(cnt),
+                                           std::span<u64>(buf.data(), cnt));
+    bool need_slow_path = !r.ok();
+    if (r.ok()) {
+      done = std::max(done, r.done);
+      if (cfg_.verify_checksums) {
+        for (size_t k = 0; k < cnt && !need_slow_path; ++k) {
+          const SsdRead& sr = ssd_reads[i + k];
+          const SegmentInfo& si = sgs_[sr.sg].segs[sr.seg];
+          if (common::crc32c_of(buf[k]) != si.slot_crc[sr.slot])
+            need_slow_path = true;
+        }
+      }
+    }
+    if (!need_slow_path) {
+      if (req.tags_out != nullptr)
+        for (size_t k = 0; k < cnt; ++k)
+          req.tags_out[ssd_reads[i + k].idx] = buf[k];
+    } else {
+      // Per-block verified read with repair (§4.1 failure handling).
+      for (size_t k = 0; k < cnt; ++k) {
+        const SsdRead& sr = ssd_reads[i + k];
+        SimTime t = now;
+        auto rec = read_slot(now, sr.sg, sr.seg, sr.slot, &t);
+        done = std::max(done, t);
+        if (rec.is_ok() && req.tags_out != nullptr)
+          req.tags_out[sr.idx] = rec.value();
+      }
+    }
+    i = j;
+  }
+
+  // Misses: fetch from primary storage into the staging/clean buffer (§4.1).
+  std::vector<u64> fetched;
+  for (const auto& [lba, cnt] : miss_runs) {
+    fetched.assign(cnt, 0);
+    auto r = primary_->read(now, lba, cnt, std::span<u64>(fetched.data(), cnt));
+    if (!r.ok()) continue;
+    done = std::max(done, r.done);
+    stats_.fetch_blocks += cnt;
+    if (req.tags_out != nullptr)
+      for (u32 k = 0; k < cnt; ++k)
+        req.tags_out[lba - req.lba + k] = fetched[k];
+    for (u32 k = 0; k < cnt; ++k) stage_clean(lba + k, fetched[k], now);
+  }
+  // Clean segment writes happen off the critical path; back-pressure only.
+  drain_buffers(now);
+  return throttle(now, done);
+}
+
+Result<u64> SrcCache::read_slot(SimTime now, u32 sg, u32 seg, u32 slot,
+                                SimTime* done) {
+  const SegmentInfo& si = sgs_[sg].segs[seg];
+  const u64 lba = si.slot_lba[slot];
+  const SlotAddr a = addr_of(sg, seg, slot, si);
+  const u32 want_crc = si.slot_crc[slot];
+
+  if (!ssds_[a.dev]->failed()) {
+    u64 tag = 0;
+    auto r = ssds_[a.dev]->read(now, a.block, 1, std::span<u64>(&tag, 1));
+    if (r.ok()) {
+      if (done != nullptr) *done = std::max(*done, r.done);
+      if (!cfg_.verify_checksums || common::crc32c_of(tag) == want_crc)
+        return tag;
+      extra_.checksum_errors++;
+    }
+  }
+  // Mirror copy (RAID-1).
+  if (a.mirror_dev != SIZE_MAX && !ssds_[a.mirror_dev]->failed()) {
+    u64 tag = 0;
+    auto r = ssds_[a.mirror_dev]->read(now, a.block, 1, std::span<u64>(&tag, 1));
+    if (r.ok() &&
+        (!cfg_.verify_checksums || common::crc32c_of(tag) == want_crc)) {
+      if (done != nullptr) *done = std::max(*done, r.done);
+      extra_.parity_repairs++;
+      if (!ssds_[a.dev]->failed())
+        ssds_[a.dev]->write(now, a.block, 1, std::span<const u64>(&tag, 1));
+      return tag;
+    }
+  }
+  // Parity reconstruction across the stripe row.
+  if (si.has_parity && cfg_.raid != SrcRaidLevel::kRaid1) {
+    SimTime t = now;
+    auto rec = reconstruct_from_stripe(now, sg, seg, slot, &t);
+    if (rec.is_ok()) {
+      const u64 tag = rec.value();
+      if (!cfg_.verify_checksums || common::crc32c_of(tag) == want_crc) {
+        if (done != nullptr) *done = std::max(*done, t);
+        extra_.parity_repairs++;
+        if (!ssds_[a.dev]->failed())
+          ssds_[a.dev]->write(now, a.block, 1, std::span<const u64>(&tag, 1));
+        return tag;
+      }
+    }
+  }
+  // Clean data can always be refetched from primary storage (§4.3).
+  if (si.type == SegType::kClean && lba != kDeadSlot) {
+    u64 tag = 0;
+    auto r = primary_->read(now, lba, 1, std::span<u64>(&tag, 1));
+    if (r.ok()) {
+      if (done != nullptr) *done = std::max(*done, r.done);
+      extra_.refetch_repairs++;
+      return tag;
+    }
+  }
+  extra_.unrecoverable_blocks++;
+  return Status(ErrorCode::kUnrecoverable, "cached block lost");
+}
+
+Result<u64> SrcCache::reconstruct_from_stripe(SimTime now, u32 sg, u32 seg,
+                                              u32 slot, SimTime* done) {
+  const SegmentInfo& si = sgs_[sg].segs[seg];
+  const SlotAddr target = addr_of(sg, seg, slot, si);
+  const u64 rows = cfg_.slots_per_chunk();
+  const u64 row = slot % rows;
+  const u64 block = chunk_base_block(sg, seg) + 1 + row;
+  u64 acc = 0;
+  SimTime t = now;
+  for (size_t d = 0; d < ssds_.size(); ++d) {
+    if (d == target.dev) continue;
+    if (ssds_[d]->failed())
+      return Status(ErrorCode::kDeviceFailed, "double failure in stripe");
+    u64 tag = 0;
+    auto r = ssds_[d]->read(now, block, 1, std::span<u64>(&tag, 1));
+    if (!r.ok()) return Status(r.error);
+    acc ^= tag;
+    t = std::max(t, r.done);
+  }
+  if (done != nullptr) *done = std::max(*done, t);
+  return acc;
+}
+
+}  // namespace srcache::src

@@ -1,0 +1,235 @@
+// SRC — SSD RAID as a Cache (the paper's contribution, §4).
+//
+// A write-back block cache over an array of commodity SSDs organised as a
+// log of *segment groups* (SGs). Each SG spans all SSDs and is sized to the
+// devices' erase group; segments (chunk × num_ssds) are written whole —
+// data, MS/ME metadata blocks and parity in one stripe — so the SSDs see
+// only large sequential writes and whole-SG TRIMs, and the RAID layer never
+// needs a read-modify-write.
+//
+// Implemented design space (Table 7): RAID-0/1/4/5 stripe formation,
+// PC/NPC clean-data redundancy, S2D vs Sel-GC reclamation with FIFO/Greedy
+// victim selection and the UMAX threshold, flush per segment vs per SG,
+// partial-segment timeout, checksum verification with parity / refetch
+// repair, crash recovery from MS/ME generation matching, and fail-stop SSD
+// handling.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "block/block_device.hpp"
+#include "cache/cache_device.hpp"
+#include "src_cache/segment_meta.hpp"
+#include "src_cache/src_config.hpp"
+
+namespace srcache::src {
+
+using blockdev::BlockDevice;
+using sim::SimTime;
+
+class SrcCache final : public cache::CacheDevice {
+ public:
+  // Counters beyond the generic CacheStats.
+  struct ExtraStats {
+    u64 segments_written = 0;
+    u64 partial_segments = 0;
+    u64 clean_segments = 0;
+    u64 dirty_segments = 0;
+    u64 sg_reclaims = 0;
+    u64 s2d_reclaims = 0;
+    u64 s2s_reclaims = 0;
+    u64 flushes_issued = 0;      // flush commands SRC sent to the SSDs
+    u64 checksum_errors = 0;
+    u64 parity_repairs = 0;
+    u64 refetch_repairs = 0;
+    u64 unrecoverable_blocks = 0;
+    u64 lost_clean_blocks = 0;   // dropped on SSD failure (NPC mode)
+    u64 lost_dirty_blocks = 0;   // data loss (RAID-0 only)
+  };
+
+  enum class Residence {
+    kAbsent,
+    kDirtyBuffer,
+    kCleanBuffer,
+    kCachedDirty,
+    kCachedClean,
+  };
+
+  // Testing hook: abort a segment write at a chosen point to model a torn
+  // write / power loss (recovery must then discard the segment).
+  enum class CrashPoint { kNone, kAfterMs, kAfterData };
+
+  // `ssds` are borrowed and must each expose at least
+  // region_start_block + region blocks. `primary` is the backing store.
+  SrcCache(const SrcConfig& cfg, std::vector<BlockDevice*> ssds,
+           BlockDevice* primary);
+
+  // Initializes an empty cache: writes the superblock into SG 0 (§4.1).
+  SimTime format(SimTime now);
+
+  // Rebuilds the in-memory state from on-SSD metadata after a crash:
+  // validates the superblock, scans every segment's MS/ME pair, keeps
+  // segments whose generations match, newest generation wins per LBA.
+  Status recover(SimTime now, SimTime* done = nullptr);
+
+  SimTime submit(const cache::AppRequest& req) override;
+  SimTime flush(SimTime now) override;
+  [[nodiscard]] const cache::CacheStats& stats() const override { return stats_; }
+  [[nodiscard]] u64 cached_blocks() const override { return map_.size(); }
+
+  [[nodiscard]] const SrcConfig& config() const { return cfg_; }
+  [[nodiscard]] const ExtraStats& extra() const { return extra_; }
+  [[nodiscard]] double utilization() const;
+  [[nodiscard]] u64 free_sg_count() const { return free_sgs_.size(); }
+  [[nodiscard]] Residence residence(u64 lba) const;
+
+  // Reacts to a fail-stopped SSD: drops unprotected blocks, keeps
+  // parity-protected ones for on-the-fly reconstruction (§4.3).
+  void on_ssd_failure(size_t ssd);
+
+  // Proactive integrity scrub: reads and checksum-verifies every live
+  // cached block, repairing through parity/mirror/refetch as on the read
+  // path (§4.1). Returns per-outcome counts.
+  struct ScrubReport {
+    u64 scanned = 0;
+    u64 repaired = 0;       // parity/mirror reconstructions
+    u64 refetched = 0;      // clean blocks re-read from primary
+    u64 unrecoverable = 0;  // lost (RAID-0 dirty only)
+  };
+  ScrubReport scrub(SimTime now, SimTime* done = nullptr);
+
+  // Internal-invariant audit for tests: mapping table vs segment census vs
+  // live counters. Returns the first violated invariant.
+  [[nodiscard]] Status verify_consistency() const;
+
+  void set_crash_point(CrashPoint p) { crash_point_ = p; }
+
+ private:
+  static constexpr u32 kBufferSg = ~0u;
+  static constexpr u8 kFlagDirty = 1;
+  static constexpr u8 kFlagHot = 2;
+
+  struct MapEntry {
+    u32 sg = 0;
+    u32 seg = 0;
+    u32 slot = 0;
+    u8 flags = 0;
+    [[nodiscard]] bool dirty() const { return (flags & kFlagDirty) != 0; }
+    [[nodiscard]] bool hot() const { return (flags & kFlagHot) != 0; }
+    [[nodiscard]] bool buffered() const { return sg == kBufferSg; }
+  };
+
+  enum class SegType : u8 { kNone, kClean, kDirty };
+
+  struct SegmentInfo {
+    SegType type = SegType::kNone;
+    bool has_parity = false;
+    u8 parity_col = 0;
+    u64 generation = 0;
+    u32 live = 0;
+    std::vector<u64> slot_lba;
+    std::vector<u32> slot_crc;
+  };
+
+  enum class SgState : u8 { kFree, kActive, kSealed, kReclaiming, kSuper };
+
+  struct SgInfo {
+    SgState state = SgState::kFree;
+    u64 seal_seq = 0;
+    u32 live = 0;
+    u32 next_seg = 0;
+    // Earliest time the (freed) SG may be rewritten: its destages must have
+    // reached primary storage first. Writes into it stall until then,
+    // which is how destage pressure throttles the foreground (§4.2).
+    SimTime ready_at = 0;
+    std::vector<SegmentInfo> segs;
+  };
+
+  struct SegBuffer {
+    std::vector<u64> lbas;  // kDeadSlot marks an invalidated staged block
+    std::vector<u64> tags;
+    u32 live = 0;
+    void clear() {
+      lbas.clear();
+      tags.clear();
+      live = 0;
+    }
+  };
+
+  struct SlotAddr {
+    size_t dev;
+    u64 block;
+    size_t mirror_dev = SIZE_MAX;  // RAID-1 replica
+  };
+
+  // --- geometry ---
+  [[nodiscard]] u64 sg_base_block(u32 sg) const;
+  [[nodiscard]] u64 chunk_base_block(u32 sg, u32 seg) const;
+  [[nodiscard]] u64 seg_data_cols(const SegmentInfo& si) const;
+  [[nodiscard]] SlotAddr addr_of(u32 sg, u32 seg, u32 slot,
+                                 const SegmentInfo& si) const;
+
+  // --- write path ---
+  SimTime do_write(const cache::AppRequest& req);
+  // Staging only appends to a segment buffer; sealing is driven by
+  // seal_buffer so that GC-induced appends can never re-enter a seal.
+  void stage_dirty(u64 lba, u64 tag, SimTime now);
+  void stage_clean(u64 lba, u64 tag, SimTime now);
+  // Drains every full segment from the buffer (and, when force_partial, a
+  // trailing partial one). GC triggered by SG allocation may append more
+  // entries; the drain loop absorbs them.
+  SimTime seal_buffer(SimTime now, bool dirty_type, bool force_partial);
+  // Writes exactly one segment from the buffer front (count entries).
+  SimTime write_one_segment(SimTime now, bool dirty_type, u64 count);
+  SimTime drain_buffers(SimTime now);
+  u32 allocate_sg(SimTime now);
+  SimTime throttle(SimTime now, SimTime ack);
+  void maybe_timeout_partial(SimTime now);
+
+  // --- read path ---
+  SimTime do_read(const cache::AppRequest& req);
+  // Reads one cached slot with checksum verification and repair; used by
+  // both the degraded/corrupt read path and GC.
+  Result<u64> read_slot(SimTime now, u32 sg, u32 seg, u32 slot, SimTime* done);
+  Result<u64> reconstruct_from_stripe(SimTime now, u32 sg, u32 seg, u32 slot,
+                                      SimTime* done);
+
+  // --- reclamation ---
+  SimTime ensure_free_sg(SimTime now);
+  SimTime reclaim_one(SimTime now, bool force_s2d);
+  [[nodiscard]] u32 pick_victim() const;
+
+  // --- bookkeeping ---
+  void invalidate_slot(u64 lba, const MapEntry& e);
+  void detach(u64 lba, const MapEntry& e);  // invalidate without erasing map
+  SimTime flush_all_ssds(SimTime now);
+  [[nodiscard]] u64 buffer_capacity(bool dirty_type) const;
+
+  SrcConfig cfg_;
+  std::vector<BlockDevice*> ssds_;
+  BlockDevice* primary_;
+
+  std::unordered_map<u64, MapEntry> map_;
+  std::vector<SgInfo> sgs_;
+  std::deque<u32> free_sgs_;
+  u32 active_sg_ = kBufferSg;
+
+  SegBuffer dirty_buf_;
+  SegBuffer clean_buf_;
+
+  std::deque<SimTime> inflight_;  // outstanding segment-write completions
+  u64 live_total_ = 0;            // live blocks on SSDs (not buffered)
+  u64 gen_seq_ = 0;
+  u64 seal_seq_ = 0;
+  u64 tag_version_ = 0;
+  SimTime last_dirty_stage_ = 0;
+  bool in_gc_ = false;
+  CrashPoint crash_point_ = CrashPoint::kNone;
+
+  cache::CacheStats stats_;
+  ExtraStats extra_;
+};
+
+}  // namespace srcache::src

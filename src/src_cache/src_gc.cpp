@@ -1,0 +1,234 @@
+// Free-space reclamation (§4.2): S2D destaging vs Sel-GC selective copying.
+#include <algorithm>
+
+#include "common/crc32c.hpp"
+#include "src_cache/src_cache.hpp"
+
+namespace srcache::src {
+
+u32 SrcCache::pick_victim() const {
+  u32 best = kBufferSg;
+  for (u32 s = 0; s < sgs_.size(); ++s) {
+    if (sgs_[s].state != SgState::kSealed) continue;
+    if (best == kBufferSg) {
+      best = s;
+      continue;
+    }
+    switch (cfg_.victim) {
+      case VictimPolicy::kFifo:
+        if (sgs_[s].seal_seq < sgs_[best].seal_seq) best = s;
+        break;
+      case VictimPolicy::kGreedy:  // least-utilized SG, FIFO tie-break
+        if (sgs_[s].live < sgs_[best].live ||
+            (sgs_[s].live == sgs_[best].live &&
+             sgs_[s].seal_seq < sgs_[best].seal_seq)) {
+          best = s;
+        }
+        break;
+      case VictimPolicy::kCostBenefit: {
+        // LFS cost-benefit: maximize age x (1 - u) / (1 + u). Older, less
+        // utilized groups win; young hot groups get time to decay.
+        auto score = [&](u32 g) {
+          const double cap = static_cast<double>(
+              cfg_.segments_per_sg() * cfg_.segment_data_slots(true));
+          const double u = static_cast<double>(sgs_[g].live) / cap;
+          const double age =
+              static_cast<double>(seal_seq_ - sgs_[g].seal_seq + 1);
+          return age * (1.0 - u) / (1.0 + u);
+        };
+        if (score(s) > score(best)) best = s;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+SimTime SrcCache::ensure_free_sg(SimTime now) {
+  SimTime t = now;
+  while (free_sgs_.size() <= cfg_.free_sg_reserve) {
+    const size_t before = free_sgs_.size();
+    t = std::max(t, reclaim_one(now, /*force_s2d=*/false));
+    if (free_sgs_.size() == before) break;  // nothing reclaimable
+  }
+  return t;
+}
+
+SimTime SrcCache::reclaim_one(SimTime now, bool force_s2d) {
+  const u32 v = pick_victim();
+  if (v == kBufferSg) return now;
+
+  // Sel-GC policy decision (§4.2): below UMAX keep hot data with
+  // SSD-to-SSD copies; above it, destage to make real room. A nearly-full
+  // victim is also destaged — copying it would reclaim no space.
+  u64 victim_slots = 0;
+  for (u32 g = 0; g < sgs_[v].next_seg; ++g)
+    victim_slots += sgs_[v].segs[g].slot_lba.size();
+  const bool victim_nearly_full =
+      victim_slots > 0 &&
+      static_cast<double>(sgs_[v].live) >
+          0.95 * static_cast<double>(victim_slots);
+  const bool use_s2d = force_s2d || cfg_.gc == GcPolicy::kS2D ||
+                       utilization() > cfg_.umax || victim_nearly_full;
+  extra_.sg_reclaims++;
+  if (use_s2d) extra_.s2d_reclaims++; else extra_.s2s_reclaims++;
+
+  SgInfo& sg = sgs_[v];
+  sg.state = SgState::kReclaiming;  // not selectable by nested reclaims
+  const bool was_in_gc = in_gc_;
+  in_gc_ = true;
+  SimTime t = now;
+
+  struct Move {
+    u64 lba;
+    u64 tag;
+    bool dirty;
+  };
+  std::vector<Move> destages;
+  std::vector<Move> copies;
+
+  const u64 rows = cfg_.slots_per_chunk();
+  for (u32 g = 0; g < sg.next_seg; ++g) {
+    SegmentInfo& si = sg.segs[g];
+    if (si.type == SegType::kNone) continue;
+    const u32 nslots = static_cast<u32>(si.slot_lba.size());
+
+    // Per-slot decision. Data is needed for destages and S2S copies; cold
+    // clean blocks are simply dropped (§4.2).
+    std::vector<char> need(nslots, 0);
+    std::vector<u64> tag(nslots, 0);
+    for (u32 s = 0; s < nslots; ++s) {
+      const u64 lba = si.slot_lba[s];
+      if (lba == kDeadSlot) continue;
+      const MapEntry& e = map_.at(lba);
+      const bool keep = !use_s2d && (e.dirty() || e.hot());
+      need[s] = (e.dirty() || keep) ? 1 : 0;
+    }
+
+    // Batched reads: column-major slots are contiguous on one device.
+    u32 s = 0;
+    while (s < nslots) {
+      if (!need[s]) {
+        ++s;
+        continue;
+      }
+      u32 e = s + 1;
+      while (e < nslots && need[e] && e / rows == s / rows) ++e;
+      const SlotAddr a = addr_of(v, g, s, si);
+      std::vector<u64> buf(e - s, 0);
+      bool slow = false;
+      if (ssds_[a.dev]->failed()) {
+        slow = true;
+      } else {
+        auto r = ssds_[a.dev]->read(now, a.block, e - s,
+                                    std::span<u64>(buf.data(), buf.size()));
+        if (!r.ok()) {
+          slow = true;
+        } else {
+          t = std::max(t, r.done);
+          if (cfg_.verify_checksums) {
+            for (u32 k = s; k < e && !slow; ++k) {
+              if (si.slot_lba[k] != kDeadSlot &&
+                  common::crc32c_of(buf[k - s]) != si.slot_crc[k])
+                slow = true;
+            }
+          }
+        }
+      }
+      if (!slow) {
+        for (u32 k = s; k < e; ++k) tag[k] = buf[k - s];
+      } else {
+        for (u32 k = s; k < e; ++k) {
+          SimTime rt = now;
+          auto rec = read_slot(now, v, g, k, &rt);
+          t = std::max(t, rt);
+          if (rec.is_ok()) {
+            tag[k] = rec.value();
+          } else {
+            need[k] = 2;  // unrecoverable: drop below
+          }
+        }
+      }
+      s = e;
+    }
+
+    for (u32 k = 0; k < nslots; ++k) {
+      const u64 lba = si.slot_lba[k];
+      if (lba == kDeadSlot) continue;
+      const MapEntry e = map_.at(lba);
+      invalidate_slot(lba, e);
+      map_.erase(lba);
+      if (need[k] == 2) {
+        if (e.dirty()) extra_.lost_dirty_blocks++;
+        continue;
+      }
+      if (e.dirty()) {
+        if (use_s2d) {
+          destages.push_back({lba, tag[k], true});
+        } else {
+          copies.push_back({lba, tag[k], true});
+        }
+      } else if (!use_s2d && e.hot()) {
+        copies.push_back({lba, tag[k], false});
+      } else {
+        stats_.dropped_clean_blocks++;
+      }
+    }
+  }
+
+  // Destages: contiguous LBA runs become single primary-storage writes,
+  // issued as background traffic (the real destager is a worker thread that
+  // yields to foreground misses). Their completion times stay on the
+  // background lane and must not feed back into SSD-side scheduling.
+  std::sort(destages.begin(), destages.end(),
+            [](const Move& a, const Move& b) { return a.lba < b.lba; });
+  primary_->set_background(true);
+  SimTime destaged_at = t;
+  std::vector<u64> wtags;
+  size_t i = 0;
+  while (i < destages.size()) {
+    size_t j = i + 1;
+    while (j < destages.size() && destages[j].lba == destages[j - 1].lba + 1) ++j;
+    wtags.clear();
+    for (size_t k = i; k < j; ++k) wtags.push_back(destages[k].tag);
+    auto r = primary_->write(t, destages[i].lba, static_cast<u32>(j - i),
+                             std::span<const u64>(wtags.data(), wtags.size()));
+    if (r.ok()) destaged_at = std::max(destaged_at, r.done);
+    stats_.destage_blocks += j - i;
+    i = j;
+  }
+  primary_->set_background(false);
+
+  // S2S copies re-enter the segment buffers cold (second chance). They are
+  // staged only; the seal_buffer drain loop that triggered this reclaim
+  // writes them out (staging never re-enters a seal).
+  for (const Move& m : copies) {
+    stats_.gc_copy_blocks++;
+    if (m.dirty) {
+      stage_dirty(m.lba, m.tag, now);
+      map_.at(m.lba).flags &= static_cast<u8>(~kFlagHot);
+    } else {
+      stage_clean(m.lba, m.tag, now);
+    }
+  }
+
+  // The whole SG is dead: TRIM it so the SSDs reclaim the erase groups
+  // without copying (the log-structured payoff, §4.1).
+  for (auto* d : ssds_) {
+    if (d->failed()) continue;
+    auto r = d->trim(t, sg_base_block(v), cfg_.eg_blocks());
+    if (r.ok()) t = std::max(t, r.done);
+  }
+
+  SgInfo fresh;
+  fresh.segs.resize(cfg_.segments_per_sg());
+  // The SG may be rewritten only once its dirty data is safe on primary
+  // storage; until then, writes into it stall (back-pressure).
+  fresh.ready_at = destaged_at;
+  sgs_[v] = std::move(fresh);
+  free_sgs_.push_back(v);
+  in_gc_ = was_in_gc;
+  return t;
+}
+
+}  // namespace srcache::src

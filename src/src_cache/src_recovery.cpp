@@ -1,0 +1,259 @@
+// Crash recovery, failure handling, and internal-invariant auditing (§4.1).
+#include <algorithm>
+#include <optional>
+
+#include "common/crc32c.hpp"
+#include "src_cache/src_cache.hpp"
+
+namespace srcache::src {
+
+Status SrcCache::recover(SimTime now, SimTime* done_out) {
+  SimTime t = now;
+
+  // 1. Superblock: first valid copy wins (it is replicated on every SSD).
+  std::optional<Superblock> sb;
+  for (auto* d : ssds_) {
+    if (d->failed()) continue;
+    SimTime rt = now;
+    auto p = d->read_payload(now, sg_base_block(0), &rt);
+    t = std::max(t, rt);
+    if (!p.is_ok()) continue;
+    sb = Superblock::deserialize(p.value());
+    if (sb.has_value()) break;
+  }
+  if (!sb.has_value())
+    return Status(ErrorCode::kCorrupted, "no valid superblock");
+  if (sb->num_ssds != cfg_.num_ssds ||
+      sb->erase_group_bytes != cfg_.erase_group_bytes ||
+      sb->chunk_bytes != cfg_.chunk_bytes ||
+      sb->region_bytes_per_ssd != cfg_.region_bytes_per_ssd) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "superblock geometry does not match configuration");
+  }
+
+  // 2. Reset volatile state. Anything that was only in the segment buffers
+  // is gone — that is the bounded TWAIT loss window the paper accepts.
+  map_.clear();
+  free_sgs_.clear();
+  dirty_buf_.clear();
+  clean_buf_.clear();
+  inflight_.clear();
+  active_sg_ = kBufferSg;
+  live_total_ = 0;
+  gen_seq_ = 0;
+  seal_seq_ = 0;
+
+  // 3. Scan every segment's MS/ME pair; matching generations mean the
+  // segment was written completely (§4.1 failure handling).
+  const u64 rows = cfg_.slots_per_chunk();
+  struct Winner {
+    u64 gen;
+    u32 sg, seg, slot;
+  };
+  std::unordered_map<u64, Winner> best;  // lba -> newest location
+
+  for (u32 s = 1; s < cfg_.sg_count(); ++s) {
+    SgInfo fresh;
+    fresh.segs.resize(cfg_.segments_per_sg());
+    sgs_[s] = std::move(fresh);
+    SgInfo& sg = sgs_[s];
+
+    u32 last_valid = 0;
+    bool any_valid = false;
+    for (u32 g = 0; g < cfg_.segments_per_sg(); ++g) {
+      const u64 base = chunk_base_block(s, g);
+      std::optional<SegmentMeta> ms, me;
+      for (auto* d : ssds_) {
+        if (d->failed()) continue;
+        SimTime rt = now;
+        auto pms = d->read_payload(now, base, &rt);
+        t = std::max(t, rt);
+        if (pms.is_ok() && !ms.has_value())
+          ms = SegmentMeta::deserialize(pms.value());
+        auto pme = d->read_payload(now, base + 1 + rows, &rt);
+        t = std::max(t, rt);
+        if (pme.is_ok() && !me.has_value())
+          me = SegmentMeta::deserialize(pme.value());
+        if (ms.has_value() && me.has_value()) break;
+      }
+      if (!ms.has_value() || !me.has_value()) continue;
+      if (ms->generation != me->generation || ms->sg != s || ms->seg != g)
+        continue;  // torn segment: discarded, space reused
+
+      SegmentInfo& si = sg.segs[g];
+      si.type = ms->dirty ? SegType::kDirty : SegType::kClean;
+      si.has_parity = ms->has_parity;
+      si.parity_col = ms->parity_col;
+      si.generation = ms->generation;
+      si.slot_lba.assign(ms->entries.size(), kDeadSlot);
+      si.slot_crc.assign(ms->entries.size(), 0);
+      si.live = 0;
+      for (u32 slot = 0; slot < ms->entries.size(); ++slot) {
+        const auto& e = ms->entries[slot];
+        si.slot_lba[slot] = e.lba;
+        si.slot_crc[slot] = e.crc;
+        if (e.lba == kDeadSlot) continue;
+        auto it = best.find(e.lba);
+        if (it == best.end() || it->second.gen < si.generation) {
+          best[e.lba] = Winner{si.generation, s, g, slot};
+        }
+      }
+      gen_seq_ = std::max(gen_seq_, si.generation);
+      last_valid = g;
+      any_valid = true;
+    }
+
+    if (!any_valid) {
+      sg.state = SgState::kFree;
+      free_sgs_.push_back(s);
+    } else {
+      // Partially-filled SGs are sealed conservatively; the unwritten tail
+      // is reclaimed with the SG.
+      sg.next_seg = last_valid + 1;
+      sg.state = SgState::kSealed;
+      u64 max_gen = 0;
+      for (const auto& si : sg.segs) max_gen = std::max(max_gen, si.generation);
+      sg.seal_seq = max_gen;
+    }
+  }
+  sgs_[0].state = SgState::kSuper;
+  seal_seq_ = gen_seq_;
+
+  // 4. Mark losers dead and build the mapping table from the winners.
+  for (u32 s = 1; s < cfg_.sg_count(); ++s) {
+    SgInfo& sg = sgs_[s];
+    for (u32 g = 0; g < sg.next_seg; ++g) {
+      SegmentInfo& si = sg.segs[g];
+      if (si.type == SegType::kNone) continue;
+      for (u32 slot = 0; slot < si.slot_lba.size(); ++slot) {
+        const u64 lba = si.slot_lba[slot];
+        if (lba == kDeadSlot) continue;
+        const auto& w = best.at(lba);
+        if (w.sg != s || w.seg != g || w.slot != slot) {
+          si.slot_lba[slot] = kDeadSlot;  // superseded by a newer segment
+          continue;
+        }
+        MapEntry e;
+        e.sg = s;
+        e.seg = g;
+        e.slot = slot;
+        e.flags = si.type == SegType::kDirty ? kFlagDirty : 0;
+        map_.emplace(lba, e);
+        si.live++;
+        sg.live++;
+        live_total_++;
+      }
+    }
+  }
+
+  if (done_out != nullptr) *done_out = t;
+  return Status::ok();
+}
+
+void SrcCache::on_ssd_failure(size_t ssd) {
+  // Fail-stop handling (§4.3): parity-protected blocks stay cached and are
+  // reconstructed on access; unprotected ones are dropped — clean blocks
+  // refetch on the next miss, dirty ones (RAID-0 only) are lost.
+  std::vector<u64> to_drop;
+  for (auto& [lba, e] : map_) {
+    if (e.buffered()) continue;
+    const SegmentInfo& si = sgs_[e.sg].segs[e.seg];
+    const SlotAddr a = addr_of(e.sg, e.seg, e.slot, si);
+    bool affected = a.dev == ssd;
+    if (cfg_.raid == SrcRaidLevel::kRaid1) {
+      affected = (a.dev == ssd || a.mirror_dev == ssd) &&
+                 ssds_[a.dev]->failed() && ssds_[a.mirror_dev]->failed();
+    } else if (si.has_parity) {
+      affected = false;  // reconstructable via the stripe
+    }
+    if (affected) to_drop.push_back(lba);
+  }
+  for (u64 lba : to_drop) {
+    const MapEntry e = map_.at(lba);
+    if (e.dirty()) {
+      extra_.lost_dirty_blocks++;
+    } else {
+      extra_.lost_clean_blocks++;
+    }
+    invalidate_slot(lba, e);
+    map_.erase(lba);
+  }
+}
+
+SrcCache::ScrubReport SrcCache::scrub(SimTime now, SimTime* done) {
+  ScrubReport rep;
+  const auto before = extra_;
+  SimTime t = now;
+  for (u32 s = 1; s < cfg_.sg_count(); ++s) {
+    const SgInfo& sg = sgs_[s];
+    for (u32 g = 0; g < sg.next_seg; ++g) {
+      const SegmentInfo& si = sg.segs[g];
+      if (si.type == SegType::kNone) continue;
+      for (u32 slot = 0; slot < si.slot_lba.size(); ++slot) {
+        if (si.slot_lba[slot] == kDeadSlot) continue;
+        ++rep.scanned;
+        SimTime rt = t;
+        (void)read_slot(t, s, g, slot, &rt);
+        t = std::max(t, rt);
+      }
+    }
+  }
+  rep.repaired = extra_.parity_repairs - before.parity_repairs;
+  rep.refetched = extra_.refetch_repairs - before.refetch_repairs;
+  rep.unrecoverable = extra_.unrecoverable_blocks - before.unrecoverable_blocks;
+  if (done != nullptr) *done = t;
+  return rep;
+}
+
+Status SrcCache::verify_consistency() const {
+  u64 live_on_ssd = 0;
+  for (u32 s = 0; s < sgs_.size(); ++s) {
+    const SgInfo& sg = sgs_[s];
+    u64 sg_live = 0;
+    for (u32 g = 0; g < sg.segs.size(); ++g) {
+      const SegmentInfo& si = sg.segs[g];
+      if (si.type == SegType::kNone) {
+        if (si.live != 0)
+          return Status(ErrorCode::kCorrupted, "empty segment with live count");
+        continue;
+      }
+      u64 seg_live = 0;
+      for (u32 slot = 0; slot < si.slot_lba.size(); ++slot) {
+        const u64 lba = si.slot_lba[slot];
+        if (lba == kDeadSlot) continue;
+        ++seg_live;
+        auto it = map_.find(lba);
+        if (it == map_.end())
+          return Status(ErrorCode::kCorrupted, "live slot without map entry");
+        const MapEntry& e = it->second;
+        if (e.buffered() || e.sg != s || e.seg != g || e.slot != slot)
+          return Status(ErrorCode::kCorrupted, "map entry does not point back");
+        if (e.dirty() != (si.type == SegType::kDirty))
+          return Status(ErrorCode::kCorrupted, "dirty flag mismatch");
+      }
+      if (seg_live != si.live)
+        return Status(ErrorCode::kCorrupted, "segment live count drift");
+      sg_live += seg_live;
+    }
+    if (sg_live != sg.live)
+      return Status(ErrorCode::kCorrupted, "SG live count drift");
+    live_on_ssd += sg_live;
+  }
+  if (live_on_ssd != live_total_)
+    return Status(ErrorCode::kCorrupted, "global live count drift");
+
+  u64 buffered = 0;
+  for (const SegBuffer* buf : {&dirty_buf_, &clean_buf_}) {
+    u64 live = 0;
+    for (u64 lba : buf->lbas)
+      if (lba != kDeadSlot) ++live;
+    if (live != buf->live)
+      return Status(ErrorCode::kCorrupted, "buffer live count drift");
+    buffered += live;
+  }
+  if (map_.size() != live_on_ssd + buffered)
+    return Status(ErrorCode::kCorrupted, "map size != live blocks");
+  return Status::ok();
+}
+
+}  // namespace srcache::src

@@ -1,0 +1,29 @@
+#include "workload/generators.hpp"
+
+#include <stdexcept>
+
+namespace srcache::workload {
+
+FioGen::FioGen(const Config& cfg) : cfg_(cfg), rng_(cfg.seed) {
+  if (cfg_.span_blocks == 0) throw std::invalid_argument("FioGen: empty span");
+  if (cfg_.req_blocks == 0 || cfg_.req_blocks > cfg_.span_blocks)
+    throw std::invalid_argument("FioGen: bad request size");
+}
+
+Op FioGen::next() {
+  Op op;
+  op.nblocks = cfg_.req_blocks;
+  op.is_write = !rng_.chance(static_cast<double>(cfg_.read_pct) / 100.0);
+  if (cfg_.sequential) {
+    if (cursor_ + cfg_.req_blocks > cfg_.span_blocks) cursor_ = 0;
+    op.lba = cfg_.offset_blocks + cursor_;
+    cursor_ += cfg_.req_blocks;
+  } else {
+    // Aligned uniform-random placement, matching FIO's 4 KiB UR profile.
+    const u64 slots = cfg_.span_blocks / cfg_.req_blocks;
+    op.lba = cfg_.offset_blocks + rng_.below(slots) * cfg_.req_blocks;
+  }
+  return op;
+}
+
+}  // namespace srcache::workload

@@ -1,0 +1,51 @@
+// Workload generation: an FIO-equivalent synthetic generator (§3.1, §5.1)
+// and the Generator interface the trace synthesizer and the replayer share.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace srcache::workload {
+
+struct Op {
+  bool is_write = false;
+  u64 lba = 0;
+  u32 nblocks = 1;
+};
+
+// A closed-loop request source. next() returns the stream's next request;
+// generators own their RNG so runs are deterministic per seed.
+class Generator {
+ public:
+  virtual ~Generator() = default;
+  virtual Op next() = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+// FIO-style generator: fixed request size, uniform-random or sequential
+// placement over a span, fixed read percentage.
+class FioGen final : public Generator {
+ public:
+  struct Config {
+    u64 span_blocks = 0;    // working area size
+    u64 offset_blocks = 0;  // start of the working area
+    u32 req_blocks = 1;     // request size (4 KiB units)
+    int read_pct = 0;       // 0 = pure write
+    bool sequential = false;
+    u64 seed = 1;
+  };
+
+  explicit FioGen(const Config& cfg);
+
+  Op next() override;
+  [[nodiscard]] const char* name() const override { return "fio"; }
+
+ private:
+  Config cfg_;
+  common::Xoshiro256 rng_;
+  u64 cursor_ = 0;  // sequential mode
+};
+
+}  // namespace srcache::workload

@@ -1,0 +1,123 @@
+#include "workload/runner.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace srcache::workload {
+
+Runner::Runner(cache::CacheDevice* cache,
+               std::vector<blockdev::BlockDevice*> ssds)
+    : cache_(cache), ssds_(std::move(ssds)) {}
+
+RunResult Runner::run(const std::vector<Generator*>& gens,
+                      const RunConfig& cfg) {
+  if (gens.empty()) throw std::invalid_argument("Runner: no generators");
+
+  // Closed loop: (completion time, generator) pairs; popping the earliest
+  // completion issues that stream's next request at that instant.
+  using Entry = std::pair<sim::SimTime, size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  const size_t streams_per_gen =
+      static_cast<size_t>(cfg.threads_per_gen) *
+      static_cast<size_t>(std::max(1, cfg.iodepth));
+  sim::SimTime t0 = 0;
+  for (size_t g = 0; g < gens.size(); ++g) {
+    for (size_t s = 0; s < streams_per_gen; ++s) {
+      heap.emplace(t0, g);
+      t0 += 100;  // stagger initial issues slightly
+    }
+  }
+
+  std::vector<u64> tagbuf;
+  auto issue = [&](sim::SimTime now, size_t g) {
+    const Op op = gens[g]->next();
+    cache::AppRequest req;
+    req.now = now;
+    req.is_write = op.is_write;
+    req.lba = op.lba;
+    req.nblocks = op.nblocks;
+    if (cfg.with_tags && !op.is_write) {
+      tagbuf.resize(op.nblocks);
+      req.tags_out = tagbuf.data();
+    }
+    const sim::SimTime done = cache_->submit(req);
+    if (done < now)
+      throw std::logic_error("Runner: completion before issue");
+    heap.emplace(done, g);
+    return blocks_to_bytes(op.nblocks);
+  };
+
+  // Untimed warm-up phase.
+  u64 warmed = 0;
+  while (warmed < cfg.warmup_bytes && !heap.empty()) {
+    const auto [now, g] = heap.top();
+    heap.pop();
+    warmed += issue(now, g);
+  }
+
+  // Measurement window starts at the next event after warm-up.
+  const sim::SimTime start = heap.empty() ? 0 : heap.top().first;
+
+  blockdev::DeviceStats ssd_before;
+  for (auto* d : ssds_) {
+    const auto& s = d->stats();
+    ssd_before.read_ops += s.read_ops;
+    ssd_before.read_blocks += s.read_blocks;
+    ssd_before.write_ops += s.write_ops;
+    ssd_before.write_blocks += s.write_blocks;
+  }
+  const cache::CacheStats cache_before = cache_->stats();
+
+  RunResult res;
+  while (!heap.empty()) {
+    const auto [now, g] = heap.top();
+    heap.pop();
+    if (now >= start + cfg.duration) break;
+    if (cfg.max_ops != 0 && res.ops >= cfg.max_ops) break;
+    res.bytes += issue(now, g);
+    res.ops++;
+  }
+
+  res.seconds = sim::to_seconds(cfg.duration);
+  res.throughput_mbps = static_cast<double>(res.bytes) / 1e6 / res.seconds;
+
+  blockdev::DeviceStats ssd_after;
+  for (auto* d : ssds_) {
+    const auto& s = d->stats();
+    ssd_after.read_ops += s.read_ops;
+    ssd_after.read_blocks += s.read_blocks;
+    ssd_after.write_ops += s.write_ops;
+    ssd_after.write_blocks += s.write_blocks;
+  }
+  res.ssd = ssd_after - ssd_before;
+
+  const cache::CacheStats& after = cache_->stats();
+  res.cache.app_read_ops = after.app_read_ops - cache_before.app_read_ops;
+  res.cache.app_read_blocks = after.app_read_blocks - cache_before.app_read_blocks;
+  res.cache.app_write_ops = after.app_write_ops - cache_before.app_write_ops;
+  res.cache.app_write_blocks =
+      after.app_write_blocks - cache_before.app_write_blocks;
+  res.cache.read_hit_blocks = after.read_hit_blocks - cache_before.read_hit_blocks;
+  res.cache.read_miss_blocks =
+      after.read_miss_blocks - cache_before.read_miss_blocks;
+  res.cache.write_hit_blocks =
+      after.write_hit_blocks - cache_before.write_hit_blocks;
+  res.cache.write_new_blocks =
+      after.write_new_blocks - cache_before.write_new_blocks;
+  res.cache.fetch_blocks = after.fetch_blocks - cache_before.fetch_blocks;
+  res.cache.destage_blocks = after.destage_blocks - cache_before.destage_blocks;
+  res.cache.gc_copy_blocks = after.gc_copy_blocks - cache_before.gc_copy_blocks;
+  res.cache.dropped_clean_blocks =
+      after.dropped_clean_blocks - cache_before.dropped_clean_blocks;
+
+  const u64 app_blocks = res.cache.app_blocks();
+  res.io_amplification =
+      app_blocks == 0 ? 0.0
+                      : static_cast<double>(res.ssd.total_blocks()) /
+                            static_cast<double>(app_blocks);
+  res.hit_ratio = res.cache.hit_ratio();
+  return res;
+}
+
+}  // namespace srcache::workload

@@ -1,0 +1,55 @@
+// Closed-loop trace replayer and measurement harness — the simulated
+// equivalent of the paper's trace-replay tool (§5.1): each trace is replayed
+// by a fixed number of threads with a fixed queue depth, all traces of a
+// group running simultaneously; throughput and I/O amplification are
+// measured over a fixed (virtual) duration.
+#pragma once
+
+#include <vector>
+
+#include "block/block_device.hpp"
+#include "cache/cache_device.hpp"
+#include "workload/generators.hpp"
+
+namespace srcache::workload {
+
+struct RunConfig {
+  int threads_per_gen = 4;   // the paper replays each trace with 4 threads
+  int iodepth = 1;           // outstanding requests per thread (FIO: 32)
+  sim::SimTime duration = 10 * sim::kSec;
+  u64 max_ops = 0;           // optional hard op budget (0 = unlimited)
+  bool with_tags = false;    // carry content tags through the cache
+  // Bytes of untimed workload to run first (cache warm-up); statistics and
+  // the measurement window start after it completes.
+  u64 warmup_bytes = 0;
+};
+
+struct RunResult {
+  double seconds = 0.0;
+  u64 ops = 0;
+  u64 bytes = 0;
+  double throughput_mbps = 0.0;
+
+  cache::CacheStats cache;
+  // Sum over the cache SSDs for the run window.
+  blockdev::DeviceStats ssd;
+  // (SSD reads + writes) / application blocks — the paper's I/O
+  // amplification metric ("observed I/Os at the cache layer divided by the
+  // actual I/Os requested").
+  double io_amplification = 0.0;
+  double hit_ratio = 0.0;
+};
+
+class Runner {
+ public:
+  // `ssds` are the devices whose traffic counts as cache-layer I/O.
+  Runner(cache::CacheDevice* cache, std::vector<blockdev::BlockDevice*> ssds);
+
+  RunResult run(const std::vector<Generator*>& gens, const RunConfig& cfg);
+
+ private:
+  cache::CacheDevice* cache_;
+  std::vector<blockdev::BlockDevice*> ssds_;
+};
+
+}  // namespace srcache::workload

@@ -1,0 +1,132 @@
+#include "workload/trace_file.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_set>
+
+namespace srcache::workload {
+
+namespace {
+
+// Splits one CSV line into at most `n` fields (no quoting in MSR traces).
+bool split_fields(const std::string& line, std::vector<std::string>& out,
+                  size_t n) {
+  out.clear();
+  size_t start = 0;
+  while (out.size() < n) {
+    const size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out.size() >= n;
+}
+
+}  // namespace
+
+Result<std::vector<TimedOp>> parse_msr_csv(std::istream& in, size_t* skipped) {
+  std::vector<TimedOp> ops;
+  std::string line;
+  std::vector<std::string> f;
+  size_t bad = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (!split_fields(line, f, 7)) {
+      ++bad;
+      continue;
+    }
+    TimedOp op;
+    char* end = nullptr;
+    op.timestamp_100ns = std::strtoull(f[0].c_str(), &end, 10);
+    if (end == f[0].c_str()) {
+      ++bad;  // header line or garbage
+      continue;
+    }
+    // Field 3: "Read" or "Write" (case-insensitive in the wild).
+    if (f[3].empty()) {
+      ++bad;
+      continue;
+    }
+    const char t = static_cast<char>(std::tolower(f[3][0]));
+    if (t != 'r' && t != 'w') {
+      ++bad;
+      continue;
+    }
+    op.is_write = t == 'w';
+    const u64 offset_bytes = std::strtoull(f[4].c_str(), nullptr, 10);
+    const u64 size_bytes = std::strtoull(f[5].c_str(), nullptr, 10);
+    if (size_bytes == 0) {
+      ++bad;
+      continue;
+    }
+    op.lba = offset_bytes / kBlockSize;
+    const u64 end_block = div_ceil(offset_bytes + size_bytes, kBlockSize);
+    op.nblocks = static_cast<u32>(
+        std::min<u64>(end_block - op.lba, 1 * MiB / kBlockSize));
+    ops.push_back(op);
+  }
+  if (skipped != nullptr) *skipped = bad;
+  if (ops.empty())
+    return Status(ErrorCode::kInvalidArgument, "no parsable trace records");
+  return ops;
+}
+
+void write_msr_csv(std::ostream& out, const std::vector<TimedOp>& ops,
+                   const std::string& hostname) {
+  for (const TimedOp& op : ops) {
+    out << op.timestamp_100ns << ',' << hostname << ",0,"
+        << (op.is_write ? "Write" : "Read") << ','
+        << blocks_to_bytes(op.lba) << ',' << blocks_to_bytes(op.nblocks)
+        << ",0\n";
+  }
+}
+
+TraceFileStats summarize(const std::vector<TimedOp>& ops) {
+  TraceFileStats s;
+  s.ops = ops.size();
+  if (ops.empty()) return s;
+  u64 blocks = 0, reads = 0;
+  std::unordered_set<u64> touched;
+  for (const TimedOp& op : ops) {
+    blocks += op.nblocks;
+    reads += op.is_write ? 0 : 1;
+    for (u32 i = 0; i < op.nblocks; ++i) touched.insert(op.lba + i);
+  }
+  s.avg_req_kb = static_cast<double>(blocks) * 4.0 / static_cast<double>(s.ops);
+  s.read_pct = 100.0 * static_cast<double>(reads) / static_cast<double>(s.ops);
+  s.footprint_blocks = touched.size();
+  s.volume_bytes = blocks_to_bytes(blocks);
+  return s;
+}
+
+TraceFileGen::TraceFileGen(std::vector<TimedOp> ops, u64 lba_offset,
+                           u64 lba_clamp_blocks)
+    : ops_(std::move(ops)), offset_(lba_offset), clamp_(lba_clamp_blocks) {
+  if (ops_.empty()) throw std::invalid_argument("TraceFileGen: empty trace");
+}
+
+Op TraceFileGen::next() {
+  const TimedOp& t = ops_[pos_];
+  if (++pos_ >= ops_.size()) {
+    pos_ = 0;
+    ++loops_;
+  }
+  Op op;
+  op.is_write = t.is_write;
+  op.nblocks = t.nblocks;
+  op.lba = t.lba;
+  if (clamp_ != 0) {
+    if (op.nblocks > clamp_) op.nblocks = static_cast<u32>(clamp_);
+    op.lba %= (clamp_ - op.nblocks + 1);
+  }
+  op.lba += offset_;
+  return op;
+}
+
+}  // namespace srcache::workload

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.hpp"
+
+namespace srcache::cost {
+namespace {
+
+ArrayConfig mlc_array() {
+  ArrayConfig a;
+  a.spec = flash::spec_a_mlc_sata();
+  a.count = 4;
+  return a;
+}
+
+TEST(CostModel, ArrayTotals) {
+  const ArrayConfig a = mlc_array();
+  EXPECT_DOUBLE_EQ(a.total_price(), 418.0);
+  EXPECT_DOUBLE_EQ(a.total_capacity_bytes(), 4.0 * 128 * GiB);
+  EXPECT_NEAR(a.gb_per_dollar(), 4.0 * 128 * 1.073741824 / 418.0, 1e-6);
+}
+
+TEST(CostModel, LifetimeArithmetic) {
+  // endurance 3000 cycles x 512 GiB total / (512 GB/day x WA 2)
+  const ArrayConfig a = mlc_array();
+  const double days = lifetime_days(a, 512e9, 2.0);
+  const double expected = 3000.0 * 4 * 128 * 1073741824.0 / (512e9 * 2.0);
+  EXPECT_NEAR(days, expected, 1e-6);
+  EXPECT_GT(days, 1000.0);
+}
+
+TEST(CostModel, HigherWaShortensLifetime) {
+  const ArrayConfig a = mlc_array();
+  EXPECT_GT(lifetime_days(a, 512e9, 1.2), lifetime_days(a, 512e9, 2.4));
+}
+
+TEST(CostModel, TlcShorterLifePerDollarTradeoff) {
+  ArrayConfig mlc = mlc_array();
+  ArrayConfig tlc;
+  tlc.spec = flash::spec_a_tlc_sata();
+  tlc.count = 4;
+  const double mlc_days = lifetime_days(mlc, 512e9, 1.5);
+  const double tlc_days = lifetime_days(tlc, 512e9, 1.5);
+  EXPECT_GT(mlc_days, tlc_days);  // 3K vs 1K P/E cycles
+  // But TLC is cheaper per GB.
+  EXPECT_GT(tlc.gb_per_dollar(), mlc.gb_per_dollar());
+}
+
+TEST(CostModel, EvaluateComposes) {
+  const ArrayConfig a = mlc_array();
+  const CostReport r = evaluate(a, 500.0, 512e9, 1.6);
+  EXPECT_DOUBLE_EQ(r.throughput_mbps, 500.0);
+  EXPECT_NEAR(r.mbps_per_dollar, 500.0 / 418.0, 1e-9);
+  EXPECT_NEAR(r.lifetime_days_per_dollar, r.lifetime_days / 418.0, 1e-9);
+}
+
+TEST(CostModel, RejectsNonPositive) {
+  EXPECT_THROW(lifetime_days(mlc_array(), 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(lifetime_days(mlc_array(), 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(CostModel, NvmeSingleDriveCostProfile) {
+  ArrayConfig nvme;
+  nvme.spec = flash::spec_c_mlc_nvme();
+  nvme.count = 1;
+  const ArrayConfig sata = mlc_array();
+  // The NVMe drive costs more than the whole SATA array (Table 12).
+  EXPECT_GT(nvme.total_price(), sata.total_price());
+  // And offers less endurance headroom per dollar.
+  const double nvme_ld = lifetime_days(nvme, 512e9, 1.5) / nvme.total_price();
+  const double sata_ld = lifetime_days(sata, 512e9, 1.5) / sata.total_price();
+  EXPECT_GT(sata_ld, nvme_ld * 0.9);
+}
+
+}  // namespace
+}  // namespace srcache::cost

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+#include "sim/timeline.hpp"
+
+namespace srcache::sim {
+namespace {
+
+// --- time helpers -------------------------------------------------------------
+
+TEST(SimTimeUnits, Constants) {
+  EXPECT_EQ(kUs, 1000);
+  EXPECT_EQ(kMs, 1000 * 1000);
+  EXPECT_EQ(kSec, 1000 * 1000 * 1000);
+}
+
+TEST(SimTimeUnits, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(2 * kSec), 2.0);
+  EXPECT_DOUBLE_EQ(to_ms(3 * kMs), 3.0);
+  EXPECT_DOUBLE_EQ(to_us(5 * kUs), 5.0);
+}
+
+TEST(SimTimeUnits, MbPerSec) {
+  // 100 MB moved in 1 second -> 100 MB/s.
+  EXPECT_NEAR(mb_per_sec(100'000'000, kSec), 100.0, 1e-9);
+  EXPECT_EQ(mb_per_sec(1, 0), 0.0);
+}
+
+TEST(SimTimeUnits, TransferTime) {
+  // 1 MB at 100 MB/s = 10 ms.
+  EXPECT_EQ(transfer_time(1'000'000, 100.0), 10 * kMs);
+  EXPECT_EQ(transfer_time(123, 0.0), 0);
+}
+
+// --- ServiceTimeline -----------------------------------------------------------
+
+TEST(ServiceTimeline, IdleStartsImmediately) {
+  ServiceTimeline t;
+  EXPECT_EQ(t.submit(100, 50), 150);
+}
+
+TEST(ServiceTimeline, BusyQueues) {
+  ServiceTimeline t;
+  EXPECT_EQ(t.submit(0, 100), 100);
+  // Submitted at 10 while busy until 100: starts at 100.
+  EXPECT_EQ(t.submit(10, 5), 105);
+}
+
+TEST(ServiceTimeline, GapLeavesIdleTime) {
+  ServiceTimeline t;
+  t.submit(0, 10);
+  EXPECT_EQ(t.submit(1000, 10), 1010);
+  EXPECT_EQ(t.busy_time(), 20);
+}
+
+TEST(ServiceTimeline, Backlog) {
+  ServiceTimeline t;
+  t.submit(0, 100);
+  EXPECT_EQ(t.backlog(30), 70);
+  EXPECT_EQ(t.backlog(200), 0);
+}
+
+TEST(ServiceTimeline, Reset) {
+  ServiceTimeline t;
+  t.submit(0, 100);
+  t.reset();
+  EXPECT_EQ(t.free_at(), 0);
+  EXPECT_EQ(t.busy_time(), 0);
+}
+
+// --- MultiServer ----------------------------------------------------------------
+
+TEST(MultiServer, ParallelUnitsOverlap) {
+  MultiServer m(4);
+  // 4 ops of 100 on 4 units all finish at 100.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(m.submit(0, 100), 100);
+  // The 5th queues behind one of them.
+  EXPECT_EQ(m.submit(0, 100), 200);
+}
+
+TEST(MultiServer, AllIdleAt) {
+  MultiServer m(2);
+  m.submit(0, 10);
+  m.submit(0, 30);
+  EXPECT_EQ(m.all_idle_at(), 30);
+  EXPECT_EQ(m.earliest_free(), 10);
+}
+
+TEST(MultiServer, BatchMatchesIndividualSubmits) {
+  MultiServer a(8), b(8);
+  const SimTime done_a = a.submit_batch(0, 20, 7);
+  SimTime done_b = 0;
+  for (int i = 0; i < 20; ++i) done_b = std::max(done_b, b.submit(0, 7));
+  EXPECT_EQ(done_a, done_b);
+  EXPECT_EQ(a.busy_time(), b.busy_time());
+}
+
+TEST(MultiServer, BatchZeroIsNoop) {
+  MultiServer m(3);
+  EXPECT_EQ(m.submit_batch(42, 0, 100), 42);
+  EXPECT_EQ(m.busy_time(), 0);
+}
+
+TEST(MultiServer, BatchSmallerThanUnits) {
+  MultiServer m(8);
+  EXPECT_EQ(m.submit_batch(0, 3, 50), 50);
+  EXPECT_EQ(m.busy_time(), 150);
+}
+
+TEST(MultiServer, ThroughputScalesWithUnits) {
+  // 1000 ops of 10 on k units should take ~10000/k.
+  for (int k : {1, 2, 4, 8}) {
+    MultiServer m(k);
+    const SimTime done = m.submit_batch(0, 1000, 10);
+    EXPECT_NEAR(static_cast<double>(done), 10000.0 / k, 10.0 / k + 10);
+  }
+}
+
+// --- PriorityTimeline ----------------------------------------------------------
+
+TEST(PriorityTimeline, ForegroundIgnoresBackgroundBacklog) {
+  PriorityTimeline t;
+  t.submit_bg(0, 1000 * kMs);  // a huge background blob
+  EXPECT_EQ(t.submit_fg(0, 10), 10);  // fg is not delayed by it
+}
+
+TEST(PriorityTimeline, BackgroundWaitsForForeground) {
+  PriorityTimeline t;
+  t.submit_fg(0, 100);
+  EXPECT_EQ(t.submit_bg(0, 50), 150);  // behind the fg work
+}
+
+TEST(PriorityTimeline, ForegroundDelaysPendingBackground) {
+  PriorityTimeline t;
+  t.submit_bg(0, 100);      // bg occupies [0, 100)
+  t.submit_fg(0, 50);       // fg inserts 50 of work
+  // The next bg op sees both: >= 150.
+  EXPECT_GE(t.submit_bg(0, 10), 160);
+}
+
+TEST(PriorityTimeline, ForegroundQueuesAmongItself) {
+  PriorityTimeline t;
+  EXPECT_EQ(t.submit_fg(0, 100), 100);
+  EXPECT_EQ(t.submit_fg(0, 100), 200);
+}
+
+TEST(PriorityTimeline, CapacityConserved) {
+  // Total busy time equals the sum of all service regardless of class mix.
+  PriorityTimeline t;
+  t.submit_fg(0, 10);
+  t.submit_bg(0, 20);
+  t.submit_fg(5, 30);
+  EXPECT_EQ(t.busy_time(), 60);
+}
+
+TEST(PriorityTimeline, DispatchBySwitch) {
+  PriorityTimeline t;
+  EXPECT_EQ(t.submit(0, 10, false), 10);
+  EXPECT_EQ(t.submit(0, 10, true), 20);  // queued behind the fg op
+}
+
+TEST(PriorityTimeline, ResetClears) {
+  PriorityTimeline t;
+  t.submit_fg(0, 100);
+  t.submit_bg(0, 100);
+  t.reset();
+  EXPECT_EQ(t.busy_time(), 0);
+  EXPECT_EQ(t.submit_fg(0, 5), 5);
+}
+
+// --- BandwidthPipe -----------------------------------------------------------------
+
+TEST(BandwidthPipe, TransfersAtRate) {
+  BandwidthPipe p(100.0);  // 100 MB/s
+  EXPECT_EQ(p.transfer(0, 1'000'000), 10 * kMs);
+}
+
+TEST(BandwidthPipe, SharedBandwidthSerializes) {
+  BandwidthPipe p(100.0);
+  p.transfer(0, 1'000'000);
+  EXPECT_EQ(p.transfer(0, 1'000'000), 20 * kMs);
+}
+
+TEST(BandwidthPipe, BacklogVisible) {
+  BandwidthPipe p(100.0);
+  p.transfer(0, 2'000'000);
+  EXPECT_EQ(p.backlog(0), 20 * kMs);
+}
+
+}  // namespace
+}  // namespace srcache::sim

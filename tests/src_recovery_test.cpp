@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "src_test_util.hpp"
+
+namespace srcache::src {
+namespace {
+
+using testutil::Rig;
+using testutil::small_config;
+
+TEST(SrcRecovery, EmptyCacheRecovers) {
+  Rig rig;
+  rig.reattach();  // crash with nothing written
+  EXPECT_TRUE(rig.cache->recover(0).is_ok());
+  EXPECT_EQ(rig.cache->cached_blocks(), 0u);
+  EXPECT_EQ(rig.cache->free_sg_count(), rig.cfg.sg_count() - 1);
+}
+
+TEST(SrcRecovery, SealedDirtyDataSurvivesCrash) {
+  Rig rig;
+  const u64 cap = rig.cfg.segment_data_slots(true);
+  std::vector<u64> tags(cap);
+  for (u64 i = 0; i < cap; ++i) {
+    tags[i] = 0x9000 + i;
+    rig.write(0, i, 1, &tags[i]);
+  }
+  rig.reattach();  // crash: all RAM state gone
+  ASSERT_TRUE(rig.cache->recover(0).is_ok());
+  EXPECT_EQ(rig.cache->cached_blocks(), cap);
+  for (u64 i = 0; i < cap; ++i) {
+    ASSERT_EQ(rig.cache->residence(i), SrcCache::Residence::kCachedDirty) << i;
+    u64 out = 0;
+    rig.read(1000, i, 1, &out);
+    ASSERT_EQ(out, tags[i]) << i;
+  }
+  EXPECT_TRUE(rig.cache->verify_consistency().is_ok());
+}
+
+TEST(SrcRecovery, CleanDataPersists) {
+  // Unlike Bcache/Flashcache (Table 5), SRC keeps clean data across
+  // restarts because clean segments carry full metadata too.
+  Rig rig;
+  const u64 clean_cap = rig.cfg.segment_data_slots(false);
+  const std::vector<u64> ptag = {777};
+  rig.primary->write(0, 100000, 1, ptag);
+  sim::SimTime t = 0;
+  for (u64 i = 0; i < clean_cap; ++i) t = rig.read(t, 100000 + i);
+  ASSERT_EQ(rig.cache->residence(100000), SrcCache::Residence::kCachedClean);
+  rig.reattach();
+  sim::SimTime recovered_at = 0;
+  ASSERT_TRUE(rig.cache->recover(0, &recovered_at).is_ok());
+  EXPECT_EQ(rig.cache->residence(100000), SrcCache::Residence::kCachedClean);
+  u64 out = 0;
+  const auto done = rig.read(recovered_at, 100000, 1, &out);
+  EXPECT_EQ(out, 777u);
+  // Served from SSD, not the disk.
+  EXPECT_LT(done - recovered_at, 5 * sim::kMs);
+}
+
+TEST(SrcRecovery, BufferedDataIsLostWithinTwaitWindow) {
+  Rig rig;
+  rig.write(0, 42);  // still in the segment buffer
+  rig.reattach();
+  ASSERT_TRUE(rig.cache->recover(0).is_ok());
+  EXPECT_EQ(rig.cache->residence(42), SrcCache::Residence::kAbsent);
+}
+
+TEST(SrcRecovery, NewestGenerationWinsForRewrittenBlocks) {
+  Rig rig;
+  const u64 cap = rig.cfg.segment_data_slots(true);
+  const u64 old_tag = 1, new_tag = 2;
+  rig.write(0, 7, 1, &old_tag);
+  for (u64 i = 0; i < cap - 1; ++i) rig.write(0, 1000 + i);  // seal #1
+  rig.write(1, 7, 1, &new_tag);
+  for (u64 i = 0; i < cap - 1; ++i) rig.write(1, 2000 + i);  // seal #2
+  rig.reattach();
+  ASSERT_TRUE(rig.cache->recover(0).is_ok());
+  u64 out = 0;
+  rig.read(10, 7, 1, &out);
+  EXPECT_EQ(out, new_tag);
+  EXPECT_TRUE(rig.cache->verify_consistency().is_ok());
+}
+
+TEST(SrcRecovery, TornSegmentDiscarded) {
+  Rig rig;
+  const u64 cap = rig.cfg.segment_data_slots(true);
+  // First, a complete segment.
+  for (u64 i = 0; i < cap; ++i) rig.write(0, i);
+  // Then a torn one: crash after MS, before data/ME.
+  rig.cache->set_crash_point(SrcCache::CrashPoint::kAfterMs);
+  for (u64 i = 0; i < cap; ++i) rig.write(1, 5000 + i);
+  rig.reattach();
+  ASSERT_TRUE(rig.cache->recover(0).is_ok());
+  // Complete segment recovered, torn one discarded.
+  EXPECT_EQ(rig.cache->residence(0), SrcCache::Residence::kCachedDirty);
+  EXPECT_EQ(rig.cache->residence(5000), SrcCache::Residence::kAbsent);
+  EXPECT_TRUE(rig.cache->verify_consistency().is_ok());
+}
+
+TEST(SrcRecovery, TornAfterDataAlsoDiscarded) {
+  Rig rig;
+  const u64 cap = rig.cfg.segment_data_slots(true);
+  rig.cache->set_crash_point(SrcCache::CrashPoint::kAfterData);
+  for (u64 i = 0; i < cap; ++i) rig.write(0, i);
+  rig.reattach();
+  ASSERT_TRUE(rig.cache->recover(0).is_ok());
+  EXPECT_EQ(rig.cache->cached_blocks(), 0u);
+}
+
+TEST(SrcRecovery, CorruptSuperblockRejected) {
+  Rig rig;
+  for (auto& ssd : rig.ssds) ssd->corrupt(0);  // superblock block on each
+  rig.reattach();
+  const Status s = rig.cache->recover(0);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kCorrupted);
+}
+
+TEST(SrcRecovery, SuperblockSurvivesSingleSsdCorruption) {
+  Rig rig;
+  rig.ssds[0]->corrupt(0);  // only one replica damaged
+  rig.reattach();
+  EXPECT_TRUE(rig.cache->recover(0).is_ok());
+}
+
+TEST(SrcRecovery, GeometryMismatchRejected) {
+  Rig rig;
+  SrcConfig other = rig.cfg;
+  other.chunk_bytes = 64 * KiB;
+  other.erase_group_bytes = 512 * KiB;
+  std::vector<blockdev::BlockDevice*> devs;
+  for (auto& s : rig.ssds) devs.push_back(s.get());
+  SrcCache wrong(other, devs, rig.primary.get());
+  EXPECT_EQ(wrong.recover(0).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SrcRecovery, ReclaimedSgNotResurrected) {
+  SrcConfig cfg = small_config();
+  cfg.gc = GcPolicy::kS2D;
+  cfg.victim = VictimPolicy::kFifo;
+  Rig rig(cfg);
+  const u64 per_sg = cfg.segments_per_sg() * cfg.segment_data_slots(true);
+  const u64 tag = 0xCAFE;
+  rig.write(0, 0, 1, &tag);
+  // Fill far enough that block 0's SG is reclaimed (destaged + trimmed).
+  sim::SimTime t = 0;
+  for (u64 i = 0; i < per_sg * (cfg.sg_count() + 1); ++i)
+    t = rig.write(t, 10 + i);
+  ASSERT_EQ(rig.cache->residence(0), SrcCache::Residence::kAbsent);
+  rig.reattach();
+  ASSERT_TRUE(rig.cache->recover(0).is_ok());
+  // The trimmed segment's metadata must not bring the block back.
+  EXPECT_EQ(rig.cache->residence(0), SrcCache::Residence::kAbsent);
+  EXPECT_TRUE(rig.cache->verify_consistency().is_ok());
+}
+
+TEST(SrcRecovery, WritesContinueAfterRecovery) {
+  Rig rig;
+  const u64 cap = rig.cfg.segment_data_slots(true);
+  for (u64 i = 0; i < cap; ++i) rig.write(0, i);
+  rig.reattach();
+  ASSERT_TRUE(rig.cache->recover(0).is_ok());
+  // Cache is fully usable: fill several more SGs.
+  sim::SimTime t = 0;
+  for (u64 i = 0; i < cap * 20; ++i) t = rig.write(t, 10000 + i);
+  EXPECT_TRUE(rig.cache->verify_consistency().is_ok())
+      << rig.cache->verify_consistency().to_string();
+}
+
+TEST(SrcRecovery, RandomWorkloadCrashRecoverEquivalence) {
+  // Property: after crash+recover, every block that was in a *sealed*
+  // segment reads back with its last sealed value.
+  Rig rig;
+  common::Xoshiro256 rng(23);
+  std::unordered_map<u64, u64> model;  // expectations, maintained via tags
+  sim::SimTime t = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const u64 lba = rng.below(3000);
+    const u64 tag = rng.next() | 1;
+    t = rig.write(t, lba, 1, &tag);
+    model[lba] = tag;
+  }
+  // Snapshot which blocks are sealed (on SSD) before the crash.
+  std::vector<std::pair<u64, u64>> sealed;
+  for (const auto& [lba, tag] : model) {
+    if (rig.cache->residence(lba) == SrcCache::Residence::kCachedDirty)
+      sealed.emplace_back(lba, tag);
+  }
+  ASSERT_FALSE(sealed.empty());
+  rig.reattach();
+  ASSERT_TRUE(rig.cache->recover(0).is_ok());
+  for (const auto& [lba, tag] : sealed) {
+    u64 out = 0;
+    rig.read(1000, lba, 1, &out);
+    ASSERT_EQ(out, tag) << "lba " << lba;
+  }
+}
+
+}  // namespace
+}  // namespace srcache::src

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/trace_file.hpp"
+
+namespace srcache::workload {
+namespace {
+
+const char* kSample =
+    "128166372003061629,usr,0,Write,7014406144,24576,41286\n"
+    "128166372016382155,usr,0,Read,2657161216,4096,3693\n"
+    "128166372026382245,usr,0,Write,7014430720,8192,1232\n";
+
+TEST(TraceFile, ParsesMsrRecords) {
+  std::istringstream in(kSample);
+  auto r = parse_msr_csv(in);
+  ASSERT_TRUE(r.is_ok());
+  const auto& ops = r.value();
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_TRUE(ops[0].is_write);
+  EXPECT_FALSE(ops[1].is_write);
+  EXPECT_EQ(ops[0].lba, 7014406144ull / kBlockSize);
+  // Offset is not 4 KiB aligned: 24576 B spill across 7 blocks.
+  EXPECT_EQ(ops[0].nblocks, 7u);
+  EXPECT_EQ(ops[1].nblocks, 1u);
+  EXPECT_EQ(ops[0].timestamp_100ns, 128166372003061629ull);
+}
+
+TEST(TraceFile, UnalignedExtentRoundsOut) {
+  // Offset 1000, size 5000: covers blocks 0 and 1.
+  std::istringstream in("1,h,0,Read,1000,5000,0\n");
+  auto r = parse_msr_csv(in);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value()[0].lba, 0u);
+  EXPECT_EQ(r.value()[0].nblocks, 2u);
+}
+
+TEST(TraceFile, SkipsHeaderAndGarbage) {
+  std::istringstream in(
+      "Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime\n"
+      "not a record\n"
+      "5,h,0,Write,4096,4096,0\n"
+      "6,h,0,Fnord,4096,4096,0\n"
+      "7,h,0,Read,4096,0,0\n");
+  size_t skipped = 0;
+  auto r = parse_msr_csv(in, &skipped);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(skipped, 4u);
+}
+
+TEST(TraceFile, EmptyInputIsError) {
+  std::istringstream in("# only a comment\n");
+  EXPECT_FALSE(parse_msr_csv(in).is_ok());
+}
+
+TEST(TraceFile, WriteReadRoundTrip) {
+  std::istringstream in(kSample);
+  auto r = parse_msr_csv(in);
+  ASSERT_TRUE(r.is_ok());
+  std::ostringstream out;
+  write_msr_csv(out, r.value(), "usr");
+  std::istringstream back(out.str());
+  auto r2 = parse_msr_csv(back);
+  ASSERT_TRUE(r2.is_ok());
+  ASSERT_EQ(r2.value().size(), r.value().size());
+  for (size_t i = 0; i < r.value().size(); ++i) {
+    EXPECT_EQ(r2.value()[i].lba, r.value()[i].lba);
+    EXPECT_EQ(r2.value()[i].nblocks, r.value()[i].nblocks);
+    EXPECT_EQ(r2.value()[i].is_write, r.value()[i].is_write);
+  }
+}
+
+TEST(TraceFile, SummaryMatchesHand) {
+  std::istringstream in(kSample);
+  auto ops = parse_msr_csv(in).take();
+  const TraceFileStats s = summarize(ops);
+  EXPECT_EQ(s.ops, 3u);
+  EXPECT_NEAR(s.read_pct, 100.0 / 3.0, 0.1);
+  // 7 + 1 + 3 = 11 blocks total (unaligned extents round outward).
+  EXPECT_NEAR(s.avg_req_kb, 11.0 * 4.0 / 3.0, 1e-9);
+  EXPECT_EQ(s.volume_bytes, 11 * kBlockSize);
+  // Ops 0 and 2 share one boundary block.
+  EXPECT_EQ(s.footprint_blocks, 10u);
+}
+
+TEST(TraceFileGen, LoopsOverTrace) {
+  std::vector<TimedOp> ops = {{1, true, 10, 2}, {2, false, 20, 1}};
+  TraceFileGen gen(ops);
+  EXPECT_EQ(gen.next().lba, 10u);
+  EXPECT_EQ(gen.next().lba, 20u);
+  EXPECT_EQ(gen.next().lba, 10u);  // wrapped
+  EXPECT_EQ(gen.loops(), 1u);
+}
+
+TEST(TraceFileGen, OffsetAndClampApplied) {
+  std::vector<TimedOp> ops = {{1, true, 1000, 4}};
+  TraceFileGen gen(ops, /*lba_offset=*/500, /*lba_clamp_blocks=*/100);
+  const Op op = gen.next();
+  EXPECT_GE(op.lba, 500u);
+  EXPECT_LT(op.lba + op.nblocks, 500u + 101u);
+}
+
+TEST(TraceFileGen, EmptyRejected) {
+  EXPECT_THROW(TraceFileGen(std::vector<TimedOp>{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace srcache::workload
