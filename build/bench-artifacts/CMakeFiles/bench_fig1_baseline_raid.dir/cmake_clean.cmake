@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_baseline_raid"
+  "../bench/bench_fig1_baseline_raid.pdb"
+  "CMakeFiles/bench_fig1_baseline_raid.dir/bench_fig1_baseline_raid.cpp.o"
+  "CMakeFiles/bench_fig1_baseline_raid.dir/bench_fig1_baseline_raid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_baseline_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

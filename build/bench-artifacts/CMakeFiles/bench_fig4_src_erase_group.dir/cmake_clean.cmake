@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_src_erase_group"
+  "../bench/bench_fig4_src_erase_group.pdb"
+  "CMakeFiles/bench_fig4_src_erase_group.dir/bench_fig4_src_erase_group.cpp.o"
+  "CMakeFiles/bench_fig4_src_erase_group.dir/bench_fig4_src_erase_group.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_src_erase_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

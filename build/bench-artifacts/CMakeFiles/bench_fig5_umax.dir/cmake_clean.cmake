@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_umax"
+  "../bench/bench_fig5_umax.pdb"
+  "CMakeFiles/bench_fig5_umax.dir/bench_fig5_umax.cpp.o"
+  "CMakeFiles/bench_fig5_umax.dir/bench_fig5_umax.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_umax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

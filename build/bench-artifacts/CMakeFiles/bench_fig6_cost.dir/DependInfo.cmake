@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_cost.cpp" "bench-artifacts/CMakeFiles/bench_fig6_cost.dir/bench_fig6_cost.cpp.o" "gcc" "bench-artifacts/CMakeFiles/bench_fig6_cost.dir/bench_fig6_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hdd/CMakeFiles/srcache_hdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/src_cache/CMakeFiles/srcache_src.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/srcache_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid/CMakeFiles/srcache_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/srcache_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/srcache_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/srcache_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/srcache_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/srcache_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/srcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/srcache_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table10_raid"
+  "../bench/bench_table10_raid.pdb"
+  "CMakeFiles/bench_table10_raid.dir/bench_table10_raid.cpp.o"
+  "CMakeFiles/bench_table10_raid.dir/bench_table10_raid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table11_flush_ctl"
+  "../bench/bench_table11_flush_ctl.pdb"
+  "CMakeFiles/bench_table11_flush_ctl.dir/bench_table11_flush_ctl.cpp.o"
+  "CMakeFiles/bench_table11_flush_ctl.dir/bench_table11_flush_ctl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_flush_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

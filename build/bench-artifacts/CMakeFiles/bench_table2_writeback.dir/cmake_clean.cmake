@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_writeback"
+  "../bench/bench_table2_writeback.pdb"
+  "CMakeFiles/bench_table2_writeback.dir/bench_table2_writeback.cpp.o"
+  "CMakeFiles/bench_table2_writeback.dir/bench_table2_writeback.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_writeback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

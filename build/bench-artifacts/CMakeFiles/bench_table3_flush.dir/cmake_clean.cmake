@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_flush"
+  "../bench/bench_table3_flush.pdb"
+  "CMakeFiles/bench_table3_flush.dir/bench_table3_flush.cpp.o"
+  "CMakeFiles/bench_table3_flush.dir/bench_table3_flush.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_traces"
+  "../bench/bench_table6_traces.pdb"
+  "CMakeFiles/bench_table6_traces.dir/bench_table6_traces.cpp.o"
+  "CMakeFiles/bench_table6_traces.dir/bench_table6_traces.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table9_npc"
+  "../bench/bench_table9_npc.pdb"
+  "CMakeFiles/bench_table9_npc.dir/bench_table9_npc.cpp.o"
+  "CMakeFiles/bench_table9_npc.dir/bench_table9_npc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_npc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

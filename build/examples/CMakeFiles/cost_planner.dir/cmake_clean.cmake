@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_planner.dir/cost_planner.cpp.o"
+  "CMakeFiles/cost_planner.dir/cost_planner.cpp.o.d"
+  "cost_planner"
+  "cost_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bcache_like.cpp" "src/baselines/CMakeFiles/srcache_baselines.dir/bcache_like.cpp.o" "gcc" "src/baselines/CMakeFiles/srcache_baselines.dir/bcache_like.cpp.o.d"
+  "/root/repo/src/baselines/flashcache_like.cpp" "src/baselines/CMakeFiles/srcache_baselines.dir/flashcache_like.cpp.o" "gcc" "src/baselines/CMakeFiles/srcache_baselines.dir/flashcache_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/srcache_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/srcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/srcache_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid/CMakeFiles/srcache_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/srcache_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srcache_baselines.dir/bcache_like.cpp.o"
+  "CMakeFiles/srcache_baselines.dir/bcache_like.cpp.o.d"
+  "CMakeFiles/srcache_baselines.dir/flashcache_like.cpp.o"
+  "CMakeFiles/srcache_baselines.dir/flashcache_like.cpp.o.d"
+  "libsrcache_baselines.a"
+  "libsrcache_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srcache_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/block/block_device.cpp" "src/block/CMakeFiles/srcache_block.dir/block_device.cpp.o" "gcc" "src/block/CMakeFiles/srcache_block.dir/block_device.cpp.o.d"
+  "/root/repo/src/block/mem_disk.cpp" "src/block/CMakeFiles/srcache_block.dir/mem_disk.cpp.o" "gcc" "src/block/CMakeFiles/srcache_block.dir/mem_disk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/srcache_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/srcache_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

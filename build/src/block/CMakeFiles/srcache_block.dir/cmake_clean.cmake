@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srcache_block.dir/block_device.cpp.o"
+  "CMakeFiles/srcache_block.dir/block_device.cpp.o.d"
+  "CMakeFiles/srcache_block.dir/mem_disk.cpp.o"
+  "CMakeFiles/srcache_block.dir/mem_disk.cpp.o.d"
+  "libsrcache_block.a"
+  "libsrcache_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srcache_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

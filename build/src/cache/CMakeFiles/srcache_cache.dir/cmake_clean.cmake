@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srcache_cache.dir/cache_device.cpp.o"
+  "CMakeFiles/srcache_cache.dir/cache_device.cpp.o.d"
+  "libsrcache_cache.a"
+  "libsrcache_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srcache_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srcache_common.dir/crc32c.cpp.o"
+  "CMakeFiles/srcache_common.dir/crc32c.cpp.o.d"
+  "CMakeFiles/srcache_common.dir/histogram.cpp.o"
+  "CMakeFiles/srcache_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/srcache_common.dir/table.cpp.o"
+  "CMakeFiles/srcache_common.dir/table.cpp.o.d"
+  "libsrcache_common.a"
+  "libsrcache_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srcache_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

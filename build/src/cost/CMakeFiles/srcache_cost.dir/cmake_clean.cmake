@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srcache_cost.dir/cost_model.cpp.o"
+  "CMakeFiles/srcache_cost.dir/cost_model.cpp.o.d"
+  "libsrcache_cost.a"
+  "libsrcache_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srcache_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srcache_flash.dir/ftl.cpp.o"
+  "CMakeFiles/srcache_flash.dir/ftl.cpp.o.d"
+  "CMakeFiles/srcache_flash.dir/sim_ssd.cpp.o"
+  "CMakeFiles/srcache_flash.dir/sim_ssd.cpp.o.d"
+  "CMakeFiles/srcache_flash.dir/ssd_specs.cpp.o"
+  "CMakeFiles/srcache_flash.dir/ssd_specs.cpp.o.d"
+  "libsrcache_flash.a"
+  "libsrcache_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srcache_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

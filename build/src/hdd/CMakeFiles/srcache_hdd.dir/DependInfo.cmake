@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdd/iscsi_target.cpp" "src/hdd/CMakeFiles/srcache_hdd.dir/iscsi_target.cpp.o" "gcc" "src/hdd/CMakeFiles/srcache_hdd.dir/iscsi_target.cpp.o.d"
+  "/root/repo/src/hdd/sim_hdd.cpp" "src/hdd/CMakeFiles/srcache_hdd.dir/sim_hdd.cpp.o" "gcc" "src/hdd/CMakeFiles/srcache_hdd.dir/sim_hdd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/srcache_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/srcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/srcache_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid/CMakeFiles/srcache_raid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srcache_hdd.dir/iscsi_target.cpp.o"
+  "CMakeFiles/srcache_hdd.dir/iscsi_target.cpp.o.d"
+  "CMakeFiles/srcache_hdd.dir/sim_hdd.cpp.o"
+  "CMakeFiles/srcache_hdd.dir/sim_hdd.cpp.o.d"
+  "libsrcache_hdd.a"
+  "libsrcache_hdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srcache_hdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

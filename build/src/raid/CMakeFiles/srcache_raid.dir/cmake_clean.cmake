@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srcache_raid.dir/raid_device.cpp.o"
+  "CMakeFiles/srcache_raid.dir/raid_device.cpp.o.d"
+  "libsrcache_raid.a"
+  "libsrcache_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srcache_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

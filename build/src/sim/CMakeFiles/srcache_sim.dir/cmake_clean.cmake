@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srcache_sim.dir/timeline.cpp.o"
+  "CMakeFiles/srcache_sim.dir/timeline.cpp.o.d"
+  "libsrcache_sim.a"
+  "libsrcache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srcache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/src_cache/segment_meta.cpp" "src/src_cache/CMakeFiles/srcache_src.dir/segment_meta.cpp.o" "gcc" "src/src_cache/CMakeFiles/srcache_src.dir/segment_meta.cpp.o.d"
+  "/root/repo/src/src_cache/src_cache.cpp" "src/src_cache/CMakeFiles/srcache_src.dir/src_cache.cpp.o" "gcc" "src/src_cache/CMakeFiles/srcache_src.dir/src_cache.cpp.o.d"
+  "/root/repo/src/src_cache/src_gc.cpp" "src/src_cache/CMakeFiles/srcache_src.dir/src_gc.cpp.o" "gcc" "src/src_cache/CMakeFiles/srcache_src.dir/src_gc.cpp.o.d"
+  "/root/repo/src/src_cache/src_recovery.cpp" "src/src_cache/CMakeFiles/srcache_src.dir/src_recovery.cpp.o" "gcc" "src/src_cache/CMakeFiles/srcache_src.dir/src_recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/srcache_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/srcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/srcache_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/srcache_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/srcache_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

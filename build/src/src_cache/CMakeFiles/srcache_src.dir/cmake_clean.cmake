@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srcache_src.dir/segment_meta.cpp.o"
+  "CMakeFiles/srcache_src.dir/segment_meta.cpp.o.d"
+  "CMakeFiles/srcache_src.dir/src_cache.cpp.o"
+  "CMakeFiles/srcache_src.dir/src_cache.cpp.o.d"
+  "CMakeFiles/srcache_src.dir/src_gc.cpp.o"
+  "CMakeFiles/srcache_src.dir/src_gc.cpp.o.d"
+  "CMakeFiles/srcache_src.dir/src_recovery.cpp.o"
+  "CMakeFiles/srcache_src.dir/src_recovery.cpp.o.d"
+  "libsrcache_src.a"
+  "libsrcache_src.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srcache_src.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generators.cpp" "src/workload/CMakeFiles/srcache_workload.dir/generators.cpp.o" "gcc" "src/workload/CMakeFiles/srcache_workload.dir/generators.cpp.o.d"
+  "/root/repo/src/workload/runner.cpp" "src/workload/CMakeFiles/srcache_workload.dir/runner.cpp.o" "gcc" "src/workload/CMakeFiles/srcache_workload.dir/runner.cpp.o.d"
+  "/root/repo/src/workload/trace_file.cpp" "src/workload/CMakeFiles/srcache_workload.dir/trace_file.cpp.o" "gcc" "src/workload/CMakeFiles/srcache_workload.dir/trace_file.cpp.o.d"
+  "/root/repo/src/workload/trace_synth.cpp" "src/workload/CMakeFiles/srcache_workload.dir/trace_synth.cpp.o" "gcc" "src/workload/CMakeFiles/srcache_workload.dir/trace_synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/srcache_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/srcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/srcache_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/srcache_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/srcache_flash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srcache_workload.dir/generators.cpp.o"
+  "CMakeFiles/srcache_workload.dir/generators.cpp.o.d"
+  "CMakeFiles/srcache_workload.dir/runner.cpp.o"
+  "CMakeFiles/srcache_workload.dir/runner.cpp.o.d"
+  "CMakeFiles/srcache_workload.dir/trace_file.cpp.o"
+  "CMakeFiles/srcache_workload.dir/trace_file.cpp.o.d"
+  "CMakeFiles/srcache_workload.dir/trace_synth.cpp.o"
+  "CMakeFiles/srcache_workload.dir/trace_synth.cpp.o.d"
+  "libsrcache_workload.a"
+  "libsrcache_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srcache_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsrcache_workload.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_test.dir/raid_test.cpp.o"
+  "CMakeFiles/raid_test.dir/raid_test.cpp.o.d"
+  "raid_test"
+  "raid_test.pdb"
+  "raid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_ssd_test.dir/sim_ssd_test.cpp.o"
+  "CMakeFiles/sim_ssd_test.dir/sim_ssd_test.cpp.o.d"
+  "sim_ssd_test"
+  "sim_ssd_test.pdb"
+  "sim_ssd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_ssd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/src_basic_test.dir/src_basic_test.cpp.o"
+  "CMakeFiles/src_basic_test.dir/src_basic_test.cpp.o.d"
+  "src_basic_test"
+  "src_basic_test.pdb"
+  "src_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/src_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

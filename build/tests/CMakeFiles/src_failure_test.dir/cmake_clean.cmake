@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/src_failure_test.dir/src_failure_test.cpp.o"
+  "CMakeFiles/src_failure_test.dir/src_failure_test.cpp.o.d"
+  "src_failure_test"
+  "src_failure_test.pdb"
+  "src_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/src_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/src_gc_test.dir/src_gc_test.cpp.o"
+  "CMakeFiles/src_gc_test.dir/src_gc_test.cpp.o.d"
+  "src_gc_test"
+  "src_gc_test.pdb"
+  "src_gc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/src_gc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/src_recovery_test.dir/src_recovery_test.cpp.o"
+  "CMakeFiles/src_recovery_test.dir/src_recovery_test.cpp.o.d"
+  "src_recovery_test"
+  "src_recovery_test.pdb"
+  "src_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/src_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/block_test[1]_include.cmake")
+include("/root/repo/build/tests/ftl_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_ssd_test[1]_include.cmake")
+include("/root/repo/build/tests/hdd_test[1]_include.cmake")
+include("/root/repo/build/tests/raid_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/src_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/src_gc_test[1]_include.cmake")
+include("/root/repo/build/tests/src_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/src_failure_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_file_test[1]_include.cmake")
