@@ -1,10 +1,13 @@
-// Microbenchmarks (google-benchmark): hot paths of the simulation substrate.
+// Microbenchmarks (google-benchmark): hot paths of the simulation substrate,
+// followed by one end-to-end SRC run whose latency percentiles and metrics
+// are printed and (with REPRO_JSON=<path>) written as machine-readable JSON.
 #include <benchmark/benchmark.h>
 
 #include "block/mem_disk.hpp"
 #include "common/crc32c.hpp"
 #include "common/rng.hpp"
 #include "flash/ftl.hpp"
+#include "harness.hpp"
 #include "raid/raid_device.hpp"
 
 namespace {
@@ -78,6 +81,76 @@ void BM_Raid5SmallWrite(benchmark::State& state) {
 }
 BENCHMARK(BM_Raid5SmallWrite);
 
+// MetricsRegistry snapshot cost (pull path; nothing touches the hot path).
+void BM_RegistrySnapshot(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  u64 n = 0;
+  for (int i = 0; i < 64; ++i) {
+    reg.counter_fn("c" + std::to_string(i), [&n] { return n; });
+  }
+  for (auto _ : state) {
+    ++n;
+    benchmark::DoNotOptimize(reg.snapshot());
+  }
+}
+BENCHMARK(BM_RegistrySnapshot);
+
+// Per-request cost of the latency recorder (the only per-op instrumentation
+// the Runner adds) — a couple of branches and a histogram bucket increment.
+void BM_LatencyRecord(benchmark::State& state) {
+  obs::LatencyRecorder rec;
+  common::Xoshiro256 rng(5);
+  for (auto _ : state) {
+    rec.record(static_cast<obs::ReqClass>(rng.below(obs::kNumReqClasses)),
+               static_cast<sim::SimTime>(rng.below(1u << 24)));
+  }
+  benchmark::DoNotOptimize(rec.reads().count());
+}
+BENCHMARK(BM_LatencyRecord);
+
+void BM_TraceComplete(benchmark::State& state) {
+  obs::TraceLog trace(4096);
+  sim::SimTime t = 0;
+  for (auto _ : state) {
+    trace.complete("req.read", obs::kTrackApp, t, t + 1000, 8);
+    t += 1000;
+  }
+  benchmark::DoNotOptimize(trace.size());
+}
+BENCHMARK(BM_TraceComplete);
+
+// One end-to-end SRC run (small scale) so a single `bench_micro` invocation
+// exercises the full stack and — with REPRO_JSON — emits the paper metrics,
+// latency percentiles and per-layer counters machine-readably.
+void run_end_to_end() {
+  using namespace srcache::bench;
+  const double k = std::min(scale(), 0.1);
+  auto rig = make_src_rig(default_src_config(), flash::spec_840pro_128(), k);
+  const auto res = run_group(*rig, workload::TraceGroup::kMixed, k);
+
+  std::printf("\n=== end-to-end SRC sample (mixed group, scale=%.3g) ===\n", k);
+  common::Table t({"Metric", "Value"});
+  t.add_row({"throughput MB/s", common::Table::num(res.throughput_mbps, 1)});
+  t.add_row({"I/O amplification", common::Table::num(res.io_amplification, 3)});
+  t.add_row({"hit ratio", common::Table::num(res.hit_ratio, 3)});
+  t.add_row({"read p50 us", common::Table::num(res.read_lat.p50 / 1e3, 1)});
+  t.add_row({"read p95 us", common::Table::num(res.read_lat.p95 / 1e3, 1)});
+  t.add_row({"read p99 us", common::Table::num(res.read_lat.p99 / 1e3, 1)});
+  t.add_row({"write p50 us", common::Table::num(res.write_lat.p50 / 1e3, 1)});
+  t.add_row({"write p95 us", common::Table::num(res.write_lat.p95 / 1e3, 1)});
+  t.add_row({"write p99 us", common::Table::num(res.write_lat.p99 / 1e3, 1)});
+  t.print();
+
+  report_run("bench_micro", "src_mixed", res);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_end_to_end();
+  return 0;
+}

@@ -7,6 +7,13 @@
 // REPRO_SECONDS (default 10) sets the measured virtual duration per point
 // (the paper measures 10 wall-clock minutes; virtual seconds only change
 // statistical noise, not the shape).
+//
+// Observability hooks:
+//   REPRO_JSON=<path>   also write every reported run (paper metrics,
+//                       latency percentiles, metrics-registry delta) as one
+//                       JSON document — see workload/report.hpp.
+//   REPRO_TRACE=<path>  record a Chrome trace-event timeline of the runs
+//                       executed through run_group(SrcRig&, ...).
 #pragma once
 
 #include <cstdio>
@@ -21,8 +28,11 @@
 #include "cost/cost_model.hpp"
 #include "flash/sim_ssd.hpp"
 #include "hdd/iscsi_target.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "raid/raid_device.hpp"
 #include "src_cache/src_cache.hpp"
+#include "workload/report.hpp"
 #include "workload/runner.hpp"
 #include "workload/trace_synth.hpp"
 
@@ -37,6 +47,37 @@ inline sim::SimTime run_duration() {
   double secs = 10.0;
   if (const char* s = std::getenv("REPRO_SECONDS")) secs = std::atof(s);
   return static_cast<sim::SimTime>(secs * 1e9);
+}
+
+// Borrowed raw pointers over an owning SSD vector (shared by all rigs).
+inline std::vector<blockdev::BlockDevice*> borrow_ssds(
+    const std::vector<std::unique_ptr<flash::SimSsd>>& ssds) {
+  std::vector<blockdev::BlockDevice*> v;
+  v.reserve(ssds.size());
+  for (const auto& s : ssds) v.push_back(s.get());
+  return v;
+}
+
+// --- machine-readable output (REPRO_JSON) ----------------------------------
+
+inline const char* repro_json_path() { return std::getenv("REPRO_JSON"); }
+inline const char* repro_trace_path() { return std::getenv("REPRO_TRACE"); }
+
+inline workload::ReproReport& json_report() {
+  static workload::ReproReport report(scale(),
+                                      sim::to_seconds(run_duration()));
+  return report;
+}
+
+// Records one measured run into the REPRO_JSON document (no-op without the
+// env var). The file is rewritten after every run so a crashed or
+// interrupted bench still leaves valid JSON behind.
+inline void report_run(const char* bench, const std::string& name,
+                       const workload::RunResult& r) {
+  if (repro_json_path() == nullptr) return;
+  json_report().add(bench, name, r);
+  if (!json_report().write_file(repro_json_path()))
+    std::fprintf(stderr, "REPRO_JSON: cannot write %s\n", repro_json_path());
 }
 
 // Paper geometry scaled: erase group, chunk, 18-SG cache region.
@@ -86,13 +127,28 @@ struct SrcRig {
   std::vector<std::unique_ptr<flash::SimSsd>> ssds;
   std::unique_ptr<hdd::IscsiTarget> primary;
   std::unique_ptr<src::SrcCache> cache;
+  // Registry over the whole stack ("src.*", "ssd.<i>.*", "hdd.*"); wired by
+  // make_src_rig. Event trace, allocated on demand by enable_tracing().
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::TraceLog> trace;
 
   [[nodiscard]] std::vector<blockdev::BlockDevice*> ssd_ptrs() const {
-    std::vector<blockdev::BlockDevice*> v;
-    for (auto& s : ssds) v.push_back(s.get());
-    return v;
+    return borrow_ssds(ssds);
   }
 };
+
+// Attaches a TraceLog to every layer of the rig (idempotent).
+inline obs::TraceLog& enable_tracing(SrcRig& rig, size_t capacity = 1 << 16) {
+  if (!rig.trace) {
+    rig.trace = std::make_unique<obs::TraceLog>(capacity);
+    rig.cache->set_trace(rig.trace.get(), obs::kTrackSrc);
+    rig.primary->set_trace(rig.trace.get(), obs::kTrackPrimary);
+    for (size_t i = 0; i < rig.ssds.size(); ++i)
+      rig.ssds[i]->set_trace(rig.trace.get(),
+                             obs::kTrackSsdBase + static_cast<u32>(i));
+  }
+  return *rig.trace;
+}
 
 inline std::unique_ptr<hdd::IscsiTarget> make_primary(double k) {
   hdd::IscsiConfig cfg;
@@ -123,10 +179,14 @@ inline std::unique_ptr<SrcRig> make_src_rig(
     rig->ssds.push_back(
         std::make_unique<flash::SimSsd>(spec, /*track_content=*/false));
     if (precondition) rig->ssds.back()->precondition();
+    rig->ssds.back()->register_metrics(
+        obs::Scope(rig->registry, "ssd." + std::to_string(i)));
   }
   rig->primary = make_primary(k);
+  rig->primary->register_metrics(obs::Scope(rig->registry, "hdd"));
   rig->cache =
       std::make_unique<src::SrcCache>(cfg, rig->ssd_ptrs(), rig->primary.get());
+  rig->cache->register_metrics(obs::Scope(rig->registry, "src"));
   rig->cache->format(0);
   return rig;
 }
@@ -146,9 +206,7 @@ struct BaselineRig {
   std::unique_ptr<cache::CacheDevice> cache;
 
   [[nodiscard]] std::vector<blockdev::BlockDevice*> ssd_ptrs() const {
-    std::vector<blockdev::BlockDevice*> v;
-    for (auto& s : ssds) v.push_back(s.get());
-    return v;
+    return borrow_ssds(ssds);
   }
 };
 
@@ -225,6 +283,38 @@ inline workload::RunResult run_group(cache::CacheDevice* cache,
   rc.duration = run_duration();
   rc.warmup_bytes = 2 * 3 * geo.region_bytes_per_ssd;  // ~2x data capacity
   return runner.run(set.generators(), rc);
+}
+
+// SRC-rig overload: also measures the metrics registry across the run and,
+// with REPRO_TRACE set, records and writes a Chrome trace of the run.
+inline workload::RunResult run_group(SrcRig& rig, workload::TraceGroup group,
+                                     double k, u64 seed = 42) {
+  const Geometry geo = Geometry::at(k);
+  workload::TraceSet set =
+      workload::make_trace_set(group, geo.group_footprint_bytes, seed);
+  workload::Runner runner(rig.cache.get(), rig.ssd_ptrs());
+  workload::RunConfig rc;
+  rc.threads_per_gen = 4;
+  rc.iodepth = 4;
+  rc.duration = run_duration();
+  rc.warmup_bytes = 2 * 3 * geo.region_bytes_per_ssd;
+  rc.registry = &rig.registry;
+  if (repro_trace_path() != nullptr) {
+    rc.trace = &enable_tracing(rig);
+    rc.trace_track = obs::kTrackApp;
+  }
+  workload::RunResult res = runner.run(set.generators(), rc);
+  if (repro_trace_path() != nullptr) {
+    const std::string json = rig.trace->to_chrome_json();
+    std::FILE* f = std::fopen(repro_trace_path(), "w");
+    if (f == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+      std::fprintf(stderr, "REPRO_TRACE: cannot write %s\n",
+                   repro_trace_path());
+    }
+    if (f != nullptr) std::fclose(f);
+  }
+  return res;
 }
 
 inline void print_header(const char* experiment, const char* paper_ref) {

@@ -25,6 +25,23 @@ void Histogram::merge(const Histogram& other) {
   max_ = std::max(max_, other.max_);
 }
 
+Histogram Histogram::minus(const Histogram& earlier) const {
+  Histogram d;
+  for (int i = 0; i < kBuckets; ++i) {
+    d.buckets_[i] =
+        buckets_[i] >= earlier.buckets_[i] ? buckets_[i] - earlier.buckets_[i] : 0;
+    d.count_ += d.buckets_[i];
+  }
+  d.sum_ = sum_ >= earlier.sum_ ? sum_ - earlier.sum_ : 0;
+  d.min_ = min_;
+  d.max_ = max_;
+  if (d.count_ == 0) {
+    d.min_ = ~0ull;
+    d.max_ = 0;
+  }
+  return d;
+}
+
 void Histogram::reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = sum_ = max_ = 0;

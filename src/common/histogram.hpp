@@ -27,6 +27,18 @@ class Histogram {
 
   [[nodiscard]] std::string summary(const std::string& unit) const;
 
+  // Bucket access for serialization and delta math. Bucket b counts samples
+  // in [2^(b-1), 2^b) (bucket 0: the value 0).
+  static constexpr int num_buckets() { return kBuckets; }
+  [[nodiscard]] u64 bucket(int b) const { return buckets_[b]; }
+  [[nodiscard]] u64 sum() const { return sum_; }
+
+  // Delta of two cumulative snapshots: the samples recorded after `earlier`
+  // was taken (`earlier` must be an earlier copy of this histogram).
+  // min/max cannot be un-merged, so the delta keeps this histogram's; the
+  // percentiles, count, mean and buckets are exact for the window.
+  [[nodiscard]] Histogram minus(const Histogram& earlier) const;
+
  private:
   static constexpr int kBuckets = 64;
   std::vector<u64> buckets_;

@@ -86,6 +86,8 @@ IoResult SimSsd::write(SimTime now, u64 lba, u32 n, std::span<const u64> tags) {
   const SimTime nand_done = charge_nand(t_iface, ops);
   const SimTime done = admit_to_buffer(t_iface, blocks_to_bytes(n), nand_done);
 
+  if (trace_ != nullptr && (ops.gc_reads > 0 || ops.erases > 0))
+    trace_->complete("ssd.gc", trace_track_, t_iface, nand_done, ops.erases);
   content_.write(lba, n, tags);
   stats_.write_ops++;
   stats_.write_blocks += n;
@@ -132,6 +134,7 @@ IoResult SimSsd::flush(SimTime now) {
   for (int lane = 0; lane < controller_.units(); ++lane)
     done = std::max(done, controller_.submit(now, service));
   stats_.flushes++;
+  if (trace_ != nullptr) trace_->complete("ssd.flush", trace_track_, now, done);
   return {done, ErrorCode::kOk};
 }
 
@@ -144,6 +147,31 @@ IoResult SimSsd::trim(SimTime now, u64 lba, u64 n) {
   stats_.trim_ops++;
   stats_.trim_blocks += n;
   return {done, ErrorCode::kOk};
+}
+
+void SimSsd::register_metrics(const obs::Scope& scope) {
+  scope.counter_fn("read_ops", [this] { return stats_.read_ops; });
+  scope.counter_fn("read_blocks", [this] { return stats_.read_blocks; });
+  scope.counter_fn("write_ops", [this] { return stats_.write_ops; });
+  scope.counter_fn("write_blocks", [this] { return stats_.write_blocks; });
+  scope.counter_fn("flushes", [this] { return stats_.flushes; });
+  scope.counter_fn("trim_blocks", [this] { return stats_.trim_blocks; });
+  scope.counter_fn("gc.pages_copied",
+                   [this] { return ftl_.stats().gc_pages_copied; });
+  scope.counter_fn("gc.erases", [this] { return ftl_.stats().blocks_erased; });
+  scope.counter_fn("host_pages_written",
+                   [this] { return ftl_.stats().host_pages_written; });
+  scope.counter_fn("pages_programmed",
+                   [this] { return ftl_.stats().total_pages_programmed; });
+  scope.counter_fn("nand_busy_ns",
+                   [this] { return static_cast<u64>(nand_.busy_time()); });
+  scope.counter_fn("interface_busy_ns", [this] {
+    return static_cast<u64>(interface_.busy_time());
+  });
+  scope.gauge_fn("write_amplification",
+                 [this] { return ftl_.stats().write_amplification(); });
+  scope.gauge_fn("write_buffer_bytes",
+                 [this] { return static_cast<double>(pending_bytes_); });
 }
 
 void SimSsd::precondition() {

@@ -21,6 +21,8 @@
 #include "block/content_store.hpp"
 #include "flash/ftl.hpp"
 #include "flash/ssd_specs.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/timeline.hpp"
 
 namespace srcache::flash {
@@ -63,6 +65,18 @@ class SimSsd final : public BlockDevice {
   // Resets time, stats and the write buffer but keeps FTL occupancy/wear.
   void reset_timing();
 
+  // Registers pull-style observability metrics (FTL GC/erase/WA counters,
+  // device I/O counters, resource busy times) under `scope`, e.g. "ssd.0".
+  // The callbacks read this device; it must outlive the registry's snapshots.
+  void register_metrics(const obs::Scope& scope);
+
+  // Attaches an event trace (nullptr detaches). Emits internal-GC and flush
+  // events on `track`.
+  void set_trace(obs::TraceLog* log, u32 track) {
+    trace_ = log;
+    trace_track_ = track;
+  }
+
  private:
   IoResult check(SimTime now, u64 lba, u64 n) const;
   // Applies FTL-reported NAND work to the die servers; returns completion.
@@ -84,6 +98,9 @@ class SimSsd final : public BlockDevice {
 
   DeviceStats stats_;
   bool failed_ = false;
+
+  obs::TraceLog* trace_ = nullptr;
+  u32 trace_track_ = 0;
 };
 
 }  // namespace srcache::flash

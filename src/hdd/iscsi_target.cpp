@@ -17,6 +17,20 @@ IscsiTarget::IscsiTarget(const IscsiConfig& cfg) : cfg_(cfg) {
 
 u64 IscsiTarget::capacity_blocks() const { return volume_->capacity_blocks(); }
 
+void IscsiTarget::register_metrics(const obs::Scope& scope) {
+  scope.counter_fn("read_ops", [this] { return stats_.read_ops; });
+  scope.counter_fn("read_blocks", [this] { return stats_.read_blocks; });
+  scope.counter_fn("write_ops", [this] { return stats_.write_ops; });
+  scope.counter_fn("write_blocks", [this] { return stats_.write_blocks; });
+  scope.counter_fn("flushes", [this] { return stats_.flushes; });
+  scope.counter_fn("ram_hits", [this] { return ram_hits_; });
+  scope.counter_fn("ram_misses", [this] { return ram_misses_; });
+  scope.counter_fn("link.busy_ns",
+                   [this] { return static_cast<u64>(link_.busy_time()); });
+  scope.gauge_fn("dirty_backlog_bytes",
+                 [this] { return static_cast<double>(pending_bytes_); });
+}
+
 SimTime IscsiTarget::link_transfer(SimTime now, u64 bytes) {
   return link_.submit(now, sim::transfer_time(bytes, cfg_.link_mbps),
                       background_);
@@ -78,6 +92,8 @@ blockdev::IoResult IscsiTarget::read(SimTime now, u64 lba, u32 n,
     }
     const SimTime done = link_transfer(now + cfg_.rtt / 2, blocks_to_bytes(n)) +
                          cfg_.rtt / 2;
+    if (trace_ != nullptr)
+      trace_->complete("hdd.read_ram", trace_track_, now, done, n);
     return {done, ErrorCode::kOk};
   }
   ram_misses_ += n;
@@ -86,6 +102,8 @@ blockdev::IoResult IscsiTarget::read(SimTime now, u64 lba, u32 n,
   for (u32 i = 0; i < n; ++i)
     cache_insert(lba + i, tags_out.empty() ? 0 : tags_out[i]);
   const SimTime done = link_transfer(r.done, blocks_to_bytes(n)) + cfg_.rtt / 2;
+  if (trace_ != nullptr)
+    trace_->complete("hdd.read_disk", trace_track_, now, done, n);
   return {done, ErrorCode::kOk};
 }
 
@@ -104,6 +122,8 @@ blockdev::IoResult IscsiTarget::write(SimTime now, u64 lba, u32 n,
   volume_->set_background(false);
   const SimTime drained = r.ok() ? r.done : sent;
   const SimTime admitted = absorb_write(sent, drained, blocks_to_bytes(n));
+  if (trace_ != nullptr)
+    trace_->complete("hdd.write", trace_track_, now, admitted + cfg_.rtt / 2, n);
   return {admitted + cfg_.rtt / 2, ErrorCode::kOk};
 }
 
@@ -138,6 +158,8 @@ blockdev::IoResult IscsiTarget::flush(SimTime now) {
   blockdev::IoResult r = volume_->flush(drained + cfg_.rtt / 2);
   if (!r.ok()) return r;
   stats_.flushes++;
+  if (trace_ != nullptr)
+    trace_->complete("hdd.flush", trace_track_, now, r.done + cfg_.rtt / 2);
   return {r.done + cfg_.rtt / 2, ErrorCode::kOk};
 }
 

@@ -15,6 +15,8 @@
 
 #include "block/block_device.hpp"
 #include "hdd/sim_hdd.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "raid/raid_device.hpp"
 #include "sim/timeline.hpp"
 
@@ -70,6 +72,18 @@ class IscsiTarget final : public blockdev::BlockDevice {
   [[nodiscard]] u64 ram_hits() const { return ram_hits_; }
   [[nodiscard]] u64 ram_misses() const { return ram_misses_; }
 
+  // Registers pull-style observability metrics (link busy time, page-cache
+  // hits, I/O and dirty-backlog accounting) under `scope`, e.g. "hdd". The
+  // callbacks read this target; it must outlive the registry's snapshots.
+  void register_metrics(const obs::Scope& scope);
+
+  // Attaches an event trace (nullptr detaches): per-command read/write/flush
+  // events are emitted on `track` (opt-in; traced runs only).
+  void set_trace(obs::TraceLog* log, u32 track) {
+    trace_ = log;
+    trace_track_ = track;
+  }
+
  private:
   SimTime link_transfer(SimTime now, u64 bytes);
   // Two-generation LRU approximation over 4 KiB blocks (lba -> tag).
@@ -92,6 +106,9 @@ class IscsiTarget final : public blockdev::BlockDevice {
   u64 pending_bytes_ = 0;
   u64 ram_hits_ = 0, ram_misses_ = 0;
   blockdev::DeviceStats stats_;
+
+  obs::TraceLog* trace_ = nullptr;
+  u32 trace_track_ = 0;
 };
 
 }  // namespace srcache::hdd

@@ -1,0 +1,91 @@
+// Minimal JSON emitter and parser for the observability subsystem.
+//
+// The emitter is a streaming writer (no DOM, no allocation per value beyond
+// the output string); the parser builds a small DOM used by tests to
+// round-trip machine-readable bench output and by tools that post-process
+// REPRO_JSON files. Both implement strict RFC 8259 JSON — no comments, no
+// trailing commas — so any external tool can consume what we emit.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace srcache::obs {
+
+// Streaming JSON writer. Keys/values must be emitted in a valid order; the
+// writer inserts commas and separators itself. Doubles are emitted with
+// enough precision to round-trip; NaN/Inf (not representable in JSON)
+// become null.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(u64 v);
+  JsonWriter& value(i64 v);
+  JsonWriter& value(u32 v) { return value(static_cast<u64>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<i64>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  // key + value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  // Splices a pre-serialized JSON fragment in value position.
+  JsonWriter& raw(std::string_view json);
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+  static void escape_into(std::string& out, std::string_view s);
+
+ private:
+  void comma();
+
+  std::string out_;
+  // One entry per open container: true once the first element was written.
+  std::vector<bool> wrote_elem_;
+  bool pending_key_ = false;
+};
+
+// Parsed JSON value (small DOM). Object member order is preserved.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  // find() that dives through dotted paths ("runs.0.throughput_mbps" is not
+  // supported — only direct keys; kept simple on purpose).
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const;
+};
+
+// Strict parse of a complete JSON document (trailing whitespace allowed).
+Result<JsonValue> parse_json(std::string_view text);
+
+}  // namespace srcache::obs

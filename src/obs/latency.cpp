@@ -1,0 +1,43 @@
+#include "obs/latency.hpp"
+
+namespace srcache::obs {
+
+const char* to_string(ReqClass c) {
+  switch (c) {
+    case ReqClass::kReadHit: return "read_hit";
+    case ReqClass::kReadMiss: return "read_miss";
+    case ReqClass::kWriteHit: return "write_hit";
+    case ReqClass::kWriteMiss: return "write_miss";
+  }
+  return "?";
+}
+
+LatencySummary LatencySummary::of(const common::Histogram& h) {
+  LatencySummary s;
+  s.count = h.count();
+  s.mean = h.mean();
+  s.p50 = h.percentile(50);
+  s.p95 = h.percentile(95);
+  s.p99 = h.percentile(99);
+  s.p999 = h.percentile(99.9);
+  s.max = h.max();
+  return s;
+}
+
+common::Histogram LatencyRecorder::reads() const {
+  common::Histogram h = histogram(ReqClass::kReadHit);
+  h.merge(histogram(ReqClass::kReadMiss));
+  return h;
+}
+
+common::Histogram LatencyRecorder::writes() const {
+  common::Histogram h = histogram(ReqClass::kWriteHit);
+  h.merge(histogram(ReqClass::kWriteMiss));
+  return h;
+}
+
+void LatencyRecorder::reset() {
+  for (auto& h : hist_) h.reset();
+}
+
+}  // namespace srcache::obs

@@ -1,0 +1,81 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace srcache::obs {
+
+TraceLog::TraceLog(size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
+
+void TraceLog::push(const TraceEvent& e) {
+  ring_[next_] = e;
+  next_ = (next_ + 1) % ring_.size();
+  if (count_ < ring_.size()) ++count_;
+  ++total_;
+}
+
+void TraceLog::complete(const char* name, u32 track, SimTime start,
+                        SimTime end, u64 arg) {
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'X';
+  e.track = track;
+  e.ts = start;
+  e.dur = end > start ? end - start : 0;
+  e.arg = arg;
+  push(e);
+}
+
+void TraceLog::instant(const char* name, u32 track, SimTime ts, u64 arg) {
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'i';
+  e.track = track;
+  e.ts = ts;
+  e.arg = arg;
+  push(e);
+}
+
+std::vector<TraceEvent> TraceLog::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  const size_t oldest = count_ < ring_.size() ? 0 : next_;
+  for (size_t i = 0; i < count_; ++i)
+    out.push_back(ring_[(oldest + i) % ring_.size()]);
+  return out;
+}
+
+std::string TraceLog::to_chrome_json() const {
+  std::vector<TraceEvent> evs = events();
+  // The ring is append-ordered per emitter but emitters interleave; a stable
+  // sort by ts makes every track chronological as viewers expect.
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts < b.ts;
+                   });
+  JsonWriter w;
+  w.begin_array();
+  for (const TraceEvent& e : evs) {
+    w.begin_object();
+    w.kv("name", e.name);
+    w.key("ph").value(std::string_view(&e.phase, 1));
+    w.kv("ts", sim::to_us(e.ts));
+    w.kv("pid", u64{0});
+    w.kv("tid", e.track);
+    if (e.phase == 'X') w.kv("dur", sim::to_us(e.dur));
+    else w.kv("s", "t");  // instant scope: thread
+    w.key("args").begin_object().kv("v", e.arg).end_object();
+    w.end_object();
+  }
+  w.end_array();
+  return w.take();
+}
+
+void TraceLog::clear() {
+  next_ = 0;
+  count_ = 0;
+  total_ = 0;
+}
+
+}  // namespace srcache::obs

@@ -1,0 +1,75 @@
+// TraceLog: a bounded ring buffer of structured simulation events, exportable
+// as Chrome trace-event JSON (chrome://tracing, Perfetto) for timeline
+// visualization of a run — request lifetimes, segment seals, SG reclaims,
+// SSD-internal GC, flushes, failures and repairs on one synchronized axis.
+//
+// Tracing is opt-in: components hold a TraceLog* that defaults to nullptr,
+// so an untraced run pays one branch per would-be event. Event names must be
+// string literals (static lifetime); recording never allocates — when the
+// ring is full the oldest events are overwritten and counted as dropped.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/time.hpp"
+
+namespace srcache::obs {
+
+using sim::SimTime;
+
+// Fixed track (Chrome "tid") assignments used by the stock wiring in the
+// bench harness and tests. Anything fits — tracks just group timeline rows.
+enum TraceTrack : u32 {
+  kTrackApp = 0,     // application requests (workload::Runner)
+  kTrackSrc = 1,     // SRC cache internals
+  kTrackPrimary = 2, // iSCSI primary storage
+  kTrackSsdBase = 8, // SSD i uses track kTrackSsdBase + i
+};
+
+struct TraceEvent {
+  const char* name = "";  // static-lifetime string literal
+  char phase = 'i';       // Chrome ph: 'X' complete, 'i' instant
+  u32 track = 0;          // Chrome tid
+  SimTime ts = 0;         // start (ns, virtual)
+  SimTime dur = 0;        // 'X' only
+  u64 arg = 0;            // one free payload slot (lba, count, ...)
+};
+
+class TraceLog {
+ public:
+  explicit TraceLog(size_t capacity = 4096);
+
+  // Duration event [start, end). A negative-duration pair is clamped to 0.
+  void complete(const char* name, u32 track, SimTime start, SimTime end,
+                u64 arg = 0);
+  // Point event.
+  void instant(const char* name, u32 track, SimTime ts, u64 arg = 0);
+
+  [[nodiscard]] size_t capacity() const { return ring_.size(); }
+  [[nodiscard]] size_t size() const { return count_; }
+  // Events that were overwritten because the ring was full.
+  [[nodiscard]] u64 dropped() const { return total_ - count_; }
+  [[nodiscard]] u64 total_recorded() const { return total_; }
+
+  // Retained events, oldest first (ring order).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  // Chrome trace-event "JSON array format": [{"name","ph","ts","pid","tid",
+  // ("dur"|"s"),"args":{"v":arg}},...] sorted by ts (so each track is
+  // chronological), ts/dur in microseconds as the format requires.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  void clear();
+
+ private:
+  void push(const TraceEvent& e);
+
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;   // slot the next event lands in
+  size_t count_ = 0;  // retained (<= capacity)
+  u64 total_ = 0;     // ever recorded
+};
+
+}  // namespace srcache::obs

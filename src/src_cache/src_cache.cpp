@@ -160,7 +160,37 @@ SimTime SrcCache::flush_all_ssds(SimTime now) {
     if (r.ok()) done = std::max(done, r.done);
   }
   extra_.flushes_issued++;
+  if (trace_ != nullptr) trace_->complete("src.flush", trace_track_, now, done);
   return done;
+}
+
+void SrcCache::register_metrics(const obs::Scope& scope) {
+  scope.counter_fn("segments_written",
+                   [this] { return extra_.segments_written; });
+  scope.counter_fn("partial_segments",
+                   [this] { return extra_.partial_segments; });
+  scope.counter_fn("clean_segments", [this] { return extra_.clean_segments; });
+  scope.counter_fn("dirty_segments", [this] { return extra_.dirty_segments; });
+  scope.counter_fn("sg_reclaims", [this] { return extra_.sg_reclaims; });
+  scope.counter_fn("s2d_reclaims", [this] { return extra_.s2d_reclaims; });
+  scope.counter_fn("s2s_reclaims", [this] { return extra_.s2s_reclaims; });
+  scope.counter_fn("flushes", [this] { return extra_.flushes_issued; });
+  scope.counter_fn("checksum_errors",
+                   [this] { return extra_.checksum_errors; });
+  scope.counter_fn("parity_repairs", [this] { return extra_.parity_repairs; });
+  scope.counter_fn("refetch_repairs",
+                   [this] { return extra_.refetch_repairs; });
+  scope.counter_fn("unrecoverable_blocks",
+                   [this] { return extra_.unrecoverable_blocks; });
+  scope.counter_fn("fetch_blocks", [this] { return stats_.fetch_blocks; });
+  scope.counter_fn("destage_blocks", [this] { return stats_.destage_blocks; });
+  scope.counter_fn("gc_copy_blocks", [this] { return stats_.gc_copy_blocks; });
+  scope.counter_fn("app_flushes", [this] { return stats_.app_flushes; });
+  scope.gauge_fn("utilization", [this] { return utilization(); });
+  scope.gauge_fn("free_sgs",
+                 [this] { return static_cast<double>(free_sgs_.size()); });
+  scope.gauge_fn("cached_blocks",
+                 [this] { return static_cast<double>(map_.size()); });
 }
 
 // --- bookkeeping ------------------------------------------------------------
@@ -434,6 +464,8 @@ SimTime SrcCache::write_one_segment(SimTime now, bool dirty_type, u64 count) {
   }
 
   extra_.segments_written++;
+  if (trace_ != nullptr)
+    trace_->complete("src.segment_seal", trace_track_, issue, done, count);
   if (dirty_type) {
     extra_.dirty_segments++;
     if (count < capacity) extra_.partial_segments++;
@@ -584,6 +616,8 @@ Result<u64> SrcCache::read_slot(SimTime now, u32 sg, u32 seg, u32 slot,
       if (!cfg_.verify_checksums || common::crc32c_of(tag) == want_crc)
         return tag;
       extra_.checksum_errors++;
+      if (trace_ != nullptr)
+        trace_->instant("src.checksum_error", trace_track_, now, lba);
     }
   }
   // Mirror copy (RAID-1).
@@ -608,6 +642,8 @@ Result<u64> SrcCache::read_slot(SimTime now, u32 sg, u32 seg, u32 slot,
       if (!cfg_.verify_checksums || common::crc32c_of(tag) == want_crc) {
         if (done != nullptr) *done = std::max(*done, t);
         extra_.parity_repairs++;
+        if (trace_ != nullptr)
+          trace_->instant("src.parity_repair", trace_track_, now, lba);
         if (!ssds_[a.dev]->failed())
           ssds_[a.dev]->write(now, a.block, 1, std::span<const u64>(&tag, 1));
         return tag;
@@ -621,10 +657,14 @@ Result<u64> SrcCache::read_slot(SimTime now, u32 sg, u32 seg, u32 slot,
     if (r.ok()) {
       if (done != nullptr) *done = std::max(*done, r.done);
       extra_.refetch_repairs++;
+      if (trace_ != nullptr)
+        trace_->instant("src.refetch_repair", trace_track_, now, lba);
       return tag;
     }
   }
   extra_.unrecoverable_blocks++;
+  if (trace_ != nullptr)
+    trace_->instant("src.unrecoverable", trace_track_, now, lba);
   return Status(ErrorCode::kUnrecoverable, "cached block lost");
 }
 

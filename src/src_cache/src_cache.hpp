@@ -21,6 +21,8 @@
 
 #include "block/block_device.hpp"
 #include "cache/cache_device.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "src_cache/segment_meta.hpp"
 #include "src_cache/src_config.hpp"
 
@@ -105,6 +107,18 @@ class SrcCache final : public cache::CacheDevice {
   [[nodiscard]] Status verify_consistency() const;
 
   void set_crash_point(CrashPoint p) { crash_point_ = p; }
+
+  // Registers pull-style observability metrics (segment/reclaim/repair
+  // counters, utilization, free-SG gauge) under `scope`, e.g. "src". The
+  // callbacks read this cache; it must outlive the registry's snapshots.
+  void register_metrics(const obs::Scope& scope);
+
+  // Attaches an event trace (nullptr detaches): segment seals, SG reclaims,
+  // flushes, repairs and failure handling are emitted on `track`.
+  void set_trace(obs::TraceLog* log, u32 track) {
+    trace_ = log;
+    trace_track_ = track;
+  }
 
  private:
   static constexpr u32 kBufferSg = ~0u;
@@ -230,6 +244,9 @@ class SrcCache final : public cache::CacheDevice {
 
   cache::CacheStats stats_;
   ExtraStats extra_;
+
+  obs::TraceLog* trace_ = nullptr;
+  u32 trace_track_ = 0;
 };
 
 }  // namespace srcache::src

@@ -154,6 +154,8 @@ void SrcCache::on_ssd_failure(size_t ssd) {
   // Fail-stop handling (§4.3): parity-protected blocks stay cached and are
   // reconstructed on access; unprotected ones are dropped — clean blocks
   // refetch on the next miss, dirty ones (RAID-0 only) are lost.
+  if (trace_ != nullptr)
+    trace_->instant("src.ssd_failure", trace_track_, 0, ssd);
   std::vector<u64> to_drop;
   for (auto& [lba, e] : map_) {
     if (e.buffered()) continue;

@@ -1,0 +1,105 @@
+#include "workload/report.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace srcache::workload {
+
+namespace {
+
+void latency_summary(obs::JsonWriter& w, const char* key,
+                     const obs::LatencySummary& s) {
+  w.key(key).begin_object();
+  w.kv("count", s.count);
+  w.kv("mean", s.mean);
+  w.kv("p50", s.p50);
+  w.kv("p95", s.p95);
+  w.kv("p99", s.p99);
+  w.kv("p999", s.p999);
+  w.kv("max", s.max);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string run_json(const std::string& bench, const std::string& name,
+                     const RunResult& r) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", bench);
+  w.kv("name", name);
+  w.kv("seconds", r.seconds);
+  w.kv("ops", r.ops);
+  w.kv("bytes", r.bytes);
+  w.kv("throughput_mbps", r.throughput_mbps);
+  w.kv("io_amplification", r.io_amplification);
+  w.kv("hit_ratio", r.hit_ratio);
+
+  w.key("latency_ns").begin_object();
+  latency_summary(w, "read", r.read_lat);
+  latency_summary(w, "write", r.write_lat);
+  for (int c = 0; c < obs::kNumReqClasses; ++c) {
+    latency_summary(w, obs::to_string(static_cast<obs::ReqClass>(c)),
+                    r.class_lat[static_cast<size_t>(c)]);
+  }
+  w.end_object();
+
+  w.key("cache").begin_object();
+  w.kv("app_read_ops", r.cache.app_read_ops);
+  w.kv("app_read_blocks", r.cache.app_read_blocks);
+  w.kv("app_write_ops", r.cache.app_write_ops);
+  w.kv("app_write_blocks", r.cache.app_write_blocks);
+  w.kv("read_hit_blocks", r.cache.read_hit_blocks);
+  w.kv("read_miss_blocks", r.cache.read_miss_blocks);
+  w.kv("write_hit_blocks", r.cache.write_hit_blocks);
+  w.kv("write_new_blocks", r.cache.write_new_blocks);
+  w.kv("fetch_blocks", r.cache.fetch_blocks);
+  w.kv("destage_blocks", r.cache.destage_blocks);
+  w.kv("gc_copy_blocks", r.cache.gc_copy_blocks);
+  w.kv("dropped_clean_blocks", r.cache.dropped_clean_blocks);
+  w.end_object();
+
+  w.key("ssd").begin_object();
+  w.kv("read_ops", r.ssd.read_ops);
+  w.kv("read_blocks", r.ssd.read_blocks);
+  w.kv("write_ops", r.ssd.write_ops);
+  w.kv("write_blocks", r.ssd.write_blocks);
+  w.kv("flushes", r.ssd.flushes);
+  w.kv("trim_blocks", r.ssd.trim_blocks);
+  w.end_object();
+
+  w.key("metrics").raw(r.metrics.to_json());
+  w.end_object();
+  return w.take();
+}
+
+std::string ReproReport::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "srcache-repro-v1");
+  w.kv("scale", scale_);
+  w.kv("virtual_seconds", virtual_seconds_);
+  w.key("runs").begin_array();
+  for (const std::string& run : runs_) w.raw(run);
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+bool ReproReport::write_file(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace srcache::workload

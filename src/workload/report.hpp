@@ -1,0 +1,54 @@
+// Machine-readable bench output (REPRO_JSON).
+//
+// Every bench binary prints human tables; with REPRO_JSON=<path> in the
+// environment the harness also appends each measured run — the paper metrics
+// (throughput, I/O amplification, hit ratio), the latency percentiles, and
+// the full metrics-registry delta for the measurement window — to one JSON
+// document, so the perf trajectory across commits is machine-tracked instead
+// of scraped from text tables.
+//
+// Schema (stable; version bumps change "schema"):
+//   { "schema": "srcache-repro-v1",
+//     "scale": 0.25, "virtual_seconds": 10,
+//     "runs": [ { "bench": ..., "name": ...,
+//                 "seconds", "ops", "bytes",
+//                 "throughput_mbps", "io_amplification", "hit_ratio",
+//                 "latency_ns": { "read"|"write"|<class>:
+//                                 {count,mean,p50,p95,p99,p999,max} },
+//                 "cache": {...}, "ssd": {...},
+//                 "metrics": {"counters":{},"gauges":{},"histograms":{}} } ] }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/runner.hpp"
+
+namespace srcache::workload {
+
+// One run as a JSON object (the element of "runs" above).
+std::string run_json(const std::string& bench, const std::string& name,
+                     const RunResult& r);
+
+class ReproReport {
+ public:
+  ReproReport(double scale, double virtual_seconds)
+      : scale_(scale), virtual_seconds_(virtual_seconds) {}
+
+  void add(const std::string& bench, const std::string& name,
+           const RunResult& r) {
+    runs_.push_back(run_json(bench, name, r));
+  }
+
+  [[nodiscard]] size_t size() const { return runs_.size(); }
+  [[nodiscard]] std::string to_json() const;
+  // Atomically-ish rewrites `path` (write temp, rename); returns success.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+ private:
+  double scale_;
+  double virtual_seconds_;
+  std::vector<std::string> runs_;  // pre-serialized run objects
+};
+
+}  // namespace srcache::workload

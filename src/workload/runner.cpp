@@ -29,8 +29,13 @@ RunResult Runner::run(const std::vector<Generator*>& gens,
     }
   }
 
+  RunResult res;
   std::vector<u64> tagbuf;
-  auto issue = [&](sim::SimTime now, size_t g) {
+  // `measure` gates latency/trace recording so the warm-up phase stays out
+  // of the histograms. Classification reads the cache's own hit counters
+  // around the submit — no extra work on the cache's hot path, no per-
+  // request allocation here (tagbuf is reused, histograms are preallocated).
+  auto issue = [&](sim::SimTime now, size_t g, bool measure) {
     const Op op = gens[g]->next();
     cache::AppRequest req;
     req.now = now;
@@ -41,9 +46,24 @@ RunResult Runner::run(const std::vector<Generator*>& gens,
       tagbuf.resize(op.nblocks);
       req.tags_out = tagbuf.data();
     }
+    u64 miss_before = 0;
+    if (measure) {
+      miss_before = op.is_write ? cache_->stats().write_new_blocks
+                                : cache_->stats().read_miss_blocks;
+    }
     const sim::SimTime done = cache_->submit(req);
     if (done < now)
       throw std::logic_error("Runner: completion before issue");
+    if (measure) {
+      const u64 miss_after = op.is_write ? cache_->stats().write_new_blocks
+                                         : cache_->stats().read_miss_blocks;
+      res.latency.record(obs::classify(op.is_write, miss_after == miss_before),
+                         done - now);
+      if (cfg.trace != nullptr) {
+        cfg.trace->complete(op.is_write ? "req.write" : "req.read",
+                            cfg.trace_track, now, done, op.nblocks);
+      }
+    }
     heap.emplace(done, g);
     return blocks_to_bytes(op.nblocks);
   };
@@ -53,7 +73,7 @@ RunResult Runner::run(const std::vector<Generator*>& gens,
   while (warmed < cfg.warmup_bytes && !heap.empty()) {
     const auto [now, g] = heap.top();
     heap.pop();
-    warmed += issue(now, g);
+    warmed += issue(now, g, /*measure=*/false);
   }
 
   // Measurement window starts at the next event after warm-up.
@@ -68,14 +88,15 @@ RunResult Runner::run(const std::vector<Generator*>& gens,
     ssd_before.write_blocks += s.write_blocks;
   }
   const cache::CacheStats cache_before = cache_->stats();
+  obs::MetricsSnapshot metrics_before;
+  if (cfg.registry != nullptr) metrics_before = cfg.registry->snapshot();
 
-  RunResult res;
   while (!heap.empty()) {
     const auto [now, g] = heap.top();
     heap.pop();
     if (now >= start + cfg.duration) break;
     if (cfg.max_ops != 0 && res.ops >= cfg.max_ops) break;
-    res.bytes += issue(now, g);
+    res.bytes += issue(now, g, /*measure=*/true);
     res.ops++;
   }
 
@@ -117,6 +138,15 @@ RunResult Runner::run(const std::vector<Generator*>& gens,
                       : static_cast<double>(res.ssd.total_blocks()) /
                             static_cast<double>(app_blocks);
   res.hit_ratio = res.cache.hit_ratio();
+
+  res.read_lat = obs::LatencySummary::of(res.latency.reads());
+  res.write_lat = obs::LatencySummary::of(res.latency.writes());
+  for (int c = 0; c < obs::kNumReqClasses; ++c) {
+    res.class_lat[static_cast<size_t>(c)] = obs::LatencySummary::of(
+        res.latency.histogram(static_cast<obs::ReqClass>(c)));
+  }
+  if (cfg.registry != nullptr)
+    res.metrics = cfg.registry->snapshot().delta_since(metrics_before);
   return res;
 }
 

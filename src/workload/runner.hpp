@@ -5,10 +5,14 @@
 // measured over a fixed (virtual) duration.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "block/block_device.hpp"
 #include "cache/cache_device.hpp"
+#include "obs/latency.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workload/generators.hpp"
 
 namespace srcache::workload {
@@ -22,6 +26,14 @@ struct RunConfig {
   // Bytes of untimed workload to run first (cache warm-up); statistics and
   // the measurement window start after it completes.
   u64 warmup_bytes = 0;
+  // Optional: a registry over the stack under test. The runner snapshots it
+  // after warm-up and at the end; RunResult.metrics holds the delta, so the
+  // measurement window excludes cache-fill traffic.
+  const obs::MetricsRegistry* registry = nullptr;
+  // Optional: request submit/complete events land here (measurement window
+  // only) as "req.read"/"req.write" complete events on `trace_track`.
+  obs::TraceLog* trace = nullptr;
+  u32 trace_track = obs::kTrackApp;
 };
 
 struct RunResult {
@@ -38,6 +50,18 @@ struct RunResult {
   // actual I/Os requested").
   double io_amplification = 0.0;
   double hit_ratio = 0.0;
+
+  // End-to-end request latency over the measurement window (ns): merged
+  // per-direction summaries plus the four read/write x hit/miss classes
+  // (indexed by obs::ReqClass) and their full histograms.
+  obs::LatencySummary read_lat;
+  obs::LatencySummary write_lat;
+  std::array<obs::LatencySummary, obs::kNumReqClasses> class_lat;
+  obs::LatencyRecorder latency;
+
+  // Delta of RunConfig::registry across the measurement window (empty when
+  // no registry was supplied).
+  obs::MetricsSnapshot metrics;
 };
 
 class Runner {

@@ -1,0 +1,418 @@
+// Observability subsystem: registry snapshot/delta, latency summaries,
+// trace ring + Chrome export schema, JSON round-trips of REPRO output.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "flash/sim_ssd.hpp"
+#include "hdd/iscsi_target.hpp"
+#include "obs/json.hpp"
+#include "obs/latency.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "src_cache/src_cache.hpp"
+#include "workload/report.hpp"
+#include "workload/runner.hpp"
+
+namespace srcache {
+namespace {
+
+// --- JSON ------------------------------------------------------------------
+
+TEST(Json, WriterBasics) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("a", static_cast<u64>(1));
+  w.kv("b", "x\"y\n");
+  w.key("c").begin_array().value(1.5).value(true).null().end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":\"x\\\"y\\n\",\"c\":[1.5,true,null]}");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  obs::JsonWriter w;
+  w.begin_array().value(std::nan("")).value(1e308 * 10).end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(Json, ParseRoundTrip) {
+  const auto r = obs::parse_json(
+      R"({"n": -2.5e3, "s": "aAb", "l": [1, {"k": null}], "t": true})");
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  const obs::JsonValue& v = r.value();
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.find("n")->number, -2500.0);
+  EXPECT_EQ(v.find("s")->string, "aAb");
+  ASSERT_TRUE(v.find("l")->is_array());
+  EXPECT_EQ(v.find("l")->array.size(), 2u);
+  EXPECT_EQ(v.find("l")->array[1].find("k")->type,
+            obs::JsonValue::Type::kNull);
+  EXPECT_TRUE(v.find("t")->boolean);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, ParseRejectsMalformed) {
+  EXPECT_FALSE(obs::parse_json("{\"a\":1,}").is_ok());   // trailing comma
+  EXPECT_FALSE(obs::parse_json("{'a':1}").is_ok());      // single quotes
+  EXPECT_FALSE(obs::parse_json("[1 2]").is_ok());        // missing comma
+  EXPECT_FALSE(obs::parse_json("{\"a\":1} x").is_ok());  // trailing junk
+  EXPECT_FALSE(obs::parse_json("01").is_ok());           // leading zero
+  EXPECT_FALSE(obs::parse_json("").is_ok());
+}
+
+// --- Histogram extensions --------------------------------------------------
+
+TEST(HistogramDelta, EmptyAndSingleSample) {
+  common::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  const auto s0 = obs::HistogramStats::of(h);
+  EXPECT_EQ(s0.count, 0u);
+  EXPECT_DOUBLE_EQ(s0.p999, 0.0);
+
+  h.record(1000);
+  const auto s1 = obs::HistogramStats::of(h);
+  EXPECT_EQ(s1.count, 1u);
+  EXPECT_EQ(s1.min, 1000u);
+  EXPECT_EQ(s1.max, 1000u);
+  // A single sample puts every percentile in its (power-of-two) bucket.
+  EXPECT_GE(s1.p50, 512.0);
+  EXPECT_LE(s1.p50, 1024.0);
+  EXPECT_GE(s1.p999, s1.p50);
+}
+
+TEST(HistogramDelta, MinusIsTheWindow) {
+  common::Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(10);
+  const common::Histogram before = h;
+  for (int i = 0; i < 50; ++i) h.record(100000);
+  const common::Histogram win = h.minus(before);
+  EXPECT_EQ(win.count(), 50u);
+  // Only the large samples are in the window, so its p50 is near them.
+  EXPECT_GT(win.percentile(50), 10000.0);
+  // Subtracting an identical snapshot leaves an empty histogram.
+  const common::Histogram zero = h.minus(h);
+  EXPECT_EQ(zero.count(), 0u);
+  EXPECT_EQ(zero.min(), 0u);
+}
+
+TEST(HistogramDelta, MergeThenStats) {
+  common::Histogram a, b;
+  for (int i = 0; i < 95; ++i) a.record(8);
+  for (int i = 0; i < 5; ++i) b.record(1 << 20);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  const auto s = obs::HistogramStats::of(a);
+  EXPECT_LT(s.p50, 100.0);
+  EXPECT_GT(s.p99, 1e5);
+  EXPECT_EQ(s.max, 1u << 20);
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+TEST(Metrics, RegistrySnapshotDelta) {
+  obs::MetricsRegistry reg;
+  u64 pulled = 10;
+  double level = 0.25;
+  reg.counter_fn("ssd.0.gc.erases", [&pulled] { return pulled; });
+  reg.gauge_fn("src.utilization", [&level] { return level; });
+  obs::Counter& c = reg.counter("src.flushes");
+  common::Histogram& h = reg.histogram("src.seal_ns");
+  c.inc(3);
+  h.record(100);
+
+  const obs::MetricsSnapshot s1 = reg.snapshot();
+  EXPECT_EQ(s1.counters.at("ssd.0.gc.erases"), 10u);
+  EXPECT_EQ(s1.counters.at("src.flushes"), 3u);
+  EXPECT_DOUBLE_EQ(s1.gauges.at("src.utilization"), 0.25);
+  EXPECT_EQ(s1.histograms.at("src.seal_ns").count(), 1u);
+
+  pulled = 25;
+  level = 0.5;
+  c.inc();
+  h.record(200);
+  const obs::MetricsSnapshot d = reg.snapshot().delta_since(s1);
+  EXPECT_EQ(d.counters.at("ssd.0.gc.erases"), 15u);  // 25 - 10
+  EXPECT_EQ(d.counters.at("src.flushes"), 1u);
+  EXPECT_DOUBLE_EQ(d.gauges.at("src.utilization"), 0.5);  // point-in-time
+  EXPECT_EQ(d.histograms.at("src.seal_ns").count(), 1u);
+}
+
+TEST(Metrics, ScopesNest) {
+  obs::MetricsRegistry reg;
+  obs::Scope root(reg, "ssd.2");
+  root.scope("gc").counter("erases").inc(7);
+  EXPECT_EQ(reg.snapshot().counters.at("ssd.2.gc.erases"), 7u);
+  // Same name resolves to the same counter.
+  root.scope("gc").counter("erases").inc(1);
+  EXPECT_EQ(reg.snapshot().counters.at("ssd.2.gc.erases"), 8u);
+}
+
+TEST(Metrics, SnapshotJsonParses) {
+  obs::MetricsRegistry reg;
+  reg.counter("a.b").inc(42);
+  reg.gauge_fn("g", [] { return 1.5; });
+  reg.histogram("h").record(1000);
+  const auto r = obs::parse_json(reg.snapshot().to_json());
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  const obs::JsonValue& v = r.value();
+  EXPECT_DOUBLE_EQ(v.find("counters")->find("a.b")->number, 42.0);
+  EXPECT_DOUBLE_EQ(v.find("gauges")->find("g")->number, 1.5);
+  const obs::JsonValue* h = v.find("histograms")->find("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->find("count")->number, 1.0);
+  EXPECT_NE(h->find("p99"), nullptr);
+}
+
+// --- LatencyRecorder -------------------------------------------------------
+
+TEST(Latency, ClassifyAndMerge) {
+  EXPECT_EQ(obs::classify(false, true), obs::ReqClass::kReadHit);
+  EXPECT_EQ(obs::classify(false, false), obs::ReqClass::kReadMiss);
+  EXPECT_EQ(obs::classify(true, true), obs::ReqClass::kWriteHit);
+  EXPECT_EQ(obs::classify(true, false), obs::ReqClass::kWriteMiss);
+
+  obs::LatencyRecorder rec;
+  rec.record(obs::ReqClass::kReadHit, 1000);
+  rec.record(obs::ReqClass::kReadMiss, 8000000);
+  rec.record(obs::ReqClass::kWriteMiss, 2000);
+  EXPECT_EQ(rec.reads().count(), 2u);
+  EXPECT_EQ(rec.writes().count(), 1u);
+  const auto s = obs::LatencySummary::of(rec.reads());
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.max, 8000000u);
+  rec.reset();
+  EXPECT_EQ(rec.reads().count(), 0u);
+}
+
+// --- TraceLog --------------------------------------------------------------
+
+TEST(Trace, RingWraparound) {
+  obs::TraceLog log(4);
+  for (int i = 0; i < 10; ++i)
+    log.instant("e", obs::kTrackApp, i * 100, static_cast<u64>(i));
+  EXPECT_EQ(log.capacity(), 4u);
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.total_recorded(), 10u);
+  EXPECT_EQ(log.dropped(), 6u);
+  const auto evs = log.events();
+  ASSERT_EQ(evs.size(), 4u);
+  // Oldest-first: the last four recorded events in order.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(evs[i].arg, static_cast<u64>(6 + i));
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(Trace, NegativeDurationClamped) {
+  obs::TraceLog log(8);
+  log.complete("x", 0, 500, 400);
+  EXPECT_EQ(log.events()[0].dur, 0);
+}
+
+TEST(Trace, ChromeJsonSchema) {
+  obs::TraceLog log(64);
+  log.complete("req.read", obs::kTrackApp, 3000, 5000, 8);
+  log.instant("src.ssd_failure", obs::kTrackSrc, 1000, 2);
+  log.complete("ssd.flush", obs::kTrackSsdBase, 2000, 9000);
+  const auto r = obs::parse_json(log.to_chrome_json());
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  const obs::JsonValue& v = r.value();
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.array.size(), 3u);
+  std::map<u32, double> last_ts;
+  for (const auto& e : v.array) {
+    ASSERT_TRUE(e.is_object());
+    ASSERT_NE(e.find("name"), nullptr);
+    EXPECT_TRUE(e.find("name")->is_string());
+    ASSERT_NE(e.find("ph"), nullptr);
+    const std::string& ph = e.find("ph")->string;
+    EXPECT_TRUE(ph == "X" || ph == "i");
+    ASSERT_NE(e.find("ts"), nullptr);
+    EXPECT_TRUE(e.find("ts")->is_number());
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    if (ph == "X") {
+      EXPECT_NE(e.find("dur"), nullptr);
+    }
+    // Chronological per track (and globally: events are sorted by ts).
+    const u32 tid = static_cast<u32>(e.find("tid")->number);
+    auto it = last_ts.find(tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(e.find("ts")->number, it->second);
+    }
+    last_ts[tid] = e.find("ts")->number;
+  }
+  // ts is microseconds: the instant at 1000 ns sorts first at 1 us.
+  EXPECT_DOUBLE_EQ(v.array[0].find("ts")->number, 1.0);
+  EXPECT_EQ(v.array[0].find("name")->string, "src.ssd_failure");
+}
+
+// --- End-to-end: instrumented SRC stack ------------------------------------
+
+// Small SimSsd-backed SRC rig with registry + trace wired, mirroring the
+// bench harness at test scale.
+struct ObsRig {
+  flash::SsdSpec spec;
+  src::SrcConfig cfg;
+  std::vector<std::unique_ptr<flash::SimSsd>> ssds;
+  std::unique_ptr<hdd::IscsiTarget> primary;
+  std::unique_ptr<src::SrcCache> cache;
+  obs::MetricsRegistry registry;
+  obs::TraceLog trace{1 << 14};
+
+  ObsRig() {
+    spec.capacity_bytes = 8 * MiB;
+    spec.units = 4;
+    spec.pages_per_block = 64;  // erase group = 1 MiB
+
+    cfg.num_ssds = 4;
+    cfg.chunk_bytes = 32 * KiB;
+    cfg.erase_group_bytes = 256 * KiB;
+    cfg.region_bytes_per_ssd = 4 * MiB;
+    cfg.verify_checksums = false;
+    cfg.twait = 1 * sim::kSec;
+
+    std::vector<blockdev::BlockDevice*> devs;
+    for (u32 i = 0; i < cfg.num_ssds; ++i) {
+      ssds.push_back(
+          std::make_unique<flash::SimSsd>(spec, /*track_content=*/false));
+      ssds.back()->precondition();
+      ssds.back()->register_metrics(
+          obs::Scope(registry, "ssd." + std::to_string(i)));
+      ssds.back()->set_trace(&trace, obs::kTrackSsdBase + i);
+      devs.push_back(ssds.back().get());
+    }
+    hdd::IscsiConfig pc;
+    pc.disk.capacity_bytes = 1 * GiB;
+    pc.server_cache_bytes = 16 * MiB;
+    pc.dirty_limit_bytes = 4 * MiB;
+    primary = std::make_unique<hdd::IscsiTarget>(pc);
+    primary->register_metrics(obs::Scope(registry, "hdd"));
+    primary->set_trace(&trace, obs::kTrackPrimary);
+    cache = std::make_unique<src::SrcCache>(cfg, devs, primary.get());
+    cache->register_metrics(obs::Scope(registry, "src"));
+    cache->set_trace(&trace, obs::kTrackSrc);
+    cache->format(0);
+  }
+
+  workload::RunResult run() {
+    workload::FioGen::Config fc;
+    fc.span_blocks = 2 * cfg.num_ssds * cfg.region_bytes_per_ssd / kBlockSize;
+    fc.req_blocks = 8;
+    fc.read_pct = 50;
+    fc.seed = 7;
+    workload::FioGen gen(fc);
+    workload::Runner runner(cache.get(),
+                            {ssds[0].get(), ssds[1].get(), ssds[2].get(),
+                             ssds[3].get()});
+    workload::RunConfig rc;
+    rc.threads_per_gen = 2;
+    rc.iodepth = 2;
+    rc.duration = 2 * sim::kSec;
+    rc.warmup_bytes = 8 * MiB;
+    rc.registry = &registry;
+    rc.trace = &trace;
+    return runner.run({&gen}, rc);
+  }
+};
+
+TEST(ObsEndToEnd, RunnerFillsLatencyAndMetrics) {
+  ObsRig rig;
+  const workload::RunResult res = rig.run();
+  ASSERT_GT(res.ops, 100u);
+  EXPECT_EQ(res.read_lat.count + res.write_lat.count, res.ops);
+  EXPECT_GT(res.read_lat.p50, 0.0);
+  EXPECT_GE(res.read_lat.p99, res.read_lat.p50);
+  EXPECT_GE(res.read_lat.p999, res.read_lat.p99);
+  EXPECT_GT(res.write_lat.p50, 0.0);
+  // The four classes partition the merged histograms.
+  u64 class_total = 0;
+  for (const auto& c : res.class_lat) class_total += c.count;
+  EXPECT_EQ(class_total, res.ops);
+
+  // Registry delta covers all three layers.
+  EXPECT_GT(res.metrics.counters.at("src.segments_written"), 0u);
+  EXPECT_GT(res.metrics.counters.at("ssd.0.write_blocks"), 0u);
+  ASSERT_TRUE(res.metrics.counters.count("ssd.3.gc.erases"));
+  ASSERT_TRUE(res.metrics.counters.count("ssd.0.flushes"));
+  ASSERT_TRUE(res.metrics.counters.count("hdd.read_ops"));
+  EXPECT_TRUE(res.metrics.gauges.count("src.utilization"));
+
+  // The trace saw application requests and cache internals.
+  std::set<std::string> names;
+  for (const auto& e : rig.trace.events()) names.insert(e.name);
+  EXPECT_TRUE(names.count("req.read"));
+  EXPECT_TRUE(names.count("req.write"));
+  EXPECT_TRUE(names.count("src.segment_seal"));
+}
+
+TEST(ObsEndToEnd, ReportJsonRoundTrip) {
+  ObsRig rig;
+  const workload::RunResult res = rig.run();
+
+  workload::ReproReport report(/*scale=*/0.01, /*virtual_seconds=*/2.0);
+  report.add("obs_test", "fio_mixed", res);
+  const auto parsed = obs::parse_json(report.to_json());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const obs::JsonValue& doc = parsed.value();
+  EXPECT_EQ(doc.find("schema")->string, "srcache-repro-v1");
+  ASSERT_TRUE(doc.find("runs")->is_array());
+  ASSERT_EQ(doc.find("runs")->array.size(), 1u);
+
+  const obs::JsonValue& run = doc.find("runs")->array[0];
+  EXPECT_EQ(run.find("bench")->string, "obs_test");
+  EXPECT_EQ(run.find("name")->string, "fio_mixed");
+  EXPECT_DOUBLE_EQ(run.find("throughput_mbps")->number, res.throughput_mbps);
+  EXPECT_DOUBLE_EQ(run.find("io_amplification")->number,
+                   res.io_amplification);
+  EXPECT_DOUBLE_EQ(run.find("hit_ratio")->number, res.hit_ratio);
+
+  const obs::JsonValue* lat = run.find("latency_ns");
+  ASSERT_NE(lat, nullptr);
+  for (const char* dir : {"read", "write"}) {
+    const obs::JsonValue* d = lat->find(dir);
+    ASSERT_NE(d, nullptr) << dir;
+    for (const char* p : {"p50", "p95", "p99", "p999"}) {
+      ASSERT_NE(d->find(p), nullptr) << dir << "." << p;
+      EXPECT_TRUE(d->find(p)->is_number());
+    }
+  }
+  EXPECT_DOUBLE_EQ(lat->find("read")->find("p99")->number, res.read_lat.p99);
+
+  // Per-SSD GC / erase / flush counters from the registry delta.
+  const obs::JsonValue* counters = run.find("metrics")->find("counters");
+  ASSERT_NE(counters, nullptr);
+  for (int i = 0; i < 4; ++i) {
+    const std::string pre = "ssd." + std::to_string(i) + ".";
+    ASSERT_NE(counters->find(pre + "gc.erases"), nullptr);
+    ASSERT_NE(counters->find(pre + "gc.pages_copied"), nullptr);
+    ASSERT_NE(counters->find(pre + "flushes"), nullptr);
+  }
+}
+
+TEST(ObsEndToEnd, ChromeExportOfRealRunParses) {
+  ObsRig rig;
+  (void)rig.run();
+  ASSERT_GT(rig.trace.size(), 0u);
+  const auto r = obs::parse_json(rig.trace.to_chrome_json());
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  const obs::JsonValue& v = r.value();
+  ASSERT_TRUE(v.is_array());
+  EXPECT_EQ(v.array.size(), rig.trace.size());
+  double prev = -1.0;
+  for (const auto& e : v.array) {
+    ASSERT_TRUE(e.is_object());
+    ASSERT_NE(e.find("ts"), nullptr);
+    EXPECT_GE(e.find("ts")->number, prev);
+    prev = e.find("ts")->number;
+  }
+}
+
+}  // namespace
+}  // namespace srcache
