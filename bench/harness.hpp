@@ -63,6 +63,16 @@ inline std::vector<blockdev::BlockDevice*> borrow_ssds(
 inline const char* repro_json_path() { return std::getenv("REPRO_JSON"); }
 inline const char* repro_trace_path() { return std::getenv("REPRO_TRACE"); }
 
+// REPRO_TIMESERIES_MS=<virtual ms> turns on fixed-interval sampling of every
+// measured run; the per-interval series (throughput, hit ratio, GC, per-
+// resource utilization) are embedded in the REPRO_JSON document (v2 schema)
+// and exportable as CSV via tools/repro_report. 0/unset = off.
+inline sim::SimTime repro_timeseries_interval() {
+  if (const char* s = std::getenv("REPRO_TIMESERIES_MS"))
+    return static_cast<sim::SimTime>(std::atof(s) * 1e6);
+  return 0;
+}
+
 inline workload::ReproReport& json_report() {
   static workload::ReproReport report(scale(),
                                       sim::to_seconds(run_duration()));
@@ -282,6 +292,7 @@ inline workload::RunResult run_group(cache::CacheDevice* cache,
   rc.iodepth = 4;
   rc.duration = run_duration();
   rc.warmup_bytes = 2 * 3 * geo.region_bytes_per_ssd;  // ~2x data capacity
+  rc.timeseries_interval = repro_timeseries_interval();
   return runner.run(set.generators(), rc);
 }
 
@@ -299,6 +310,7 @@ inline workload::RunResult run_group(SrcRig& rig, workload::TraceGroup group,
   rc.duration = run_duration();
   rc.warmup_bytes = 2 * 3 * geo.region_bytes_per_ssd;
   rc.registry = &rig.registry;
+  rc.timeseries_interval = repro_timeseries_interval();
   if (repro_trace_path() != nullptr) {
     rc.trace = &enable_tracing(rig);
     rc.trace_track = obs::kTrackApp;

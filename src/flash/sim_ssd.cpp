@@ -165,9 +165,26 @@ void SimSsd::register_metrics(const obs::Scope& scope) {
                    [this] { return ftl_.stats().total_pages_programmed; });
   scope.counter_fn("nand_busy_ns",
                    [this] { return static_cast<u64>(nand_.busy_time()); });
+  scope.counter_fn("controller_busy_ns", [this] {
+    return static_cast<u64>(controller_.busy_time());
+  });
   scope.counter_fn("interface_busy_ns", [this] {
     return static_cast<u64>(interface_.busy_time());
   });
+  // Unit counts let the time-series sampler normalize busy-time deltas into
+  // 0..1 utilizations ("util.ssd.N.nand" etc.); per-die busy counters expose
+  // placement skew that the aggregate hides.
+  scope.gauge_fn("nand_units",
+                 [this] { return static_cast<double>(nand_.units()); });
+  scope.gauge_fn("controller_units",
+                 [this] { return static_cast<double>(controller_.units()); });
+  for (int die = 0; die < nand_.units(); ++die) {
+    scope.counter_fn("nand.die." + std::to_string(die) + ".busy_ns",
+                     [this, die] {
+                       return static_cast<u64>(
+                           nand_.busy_time(static_cast<size_t>(die)));
+                     });
+  }
   scope.gauge_fn("write_amplification",
                  [this] { return ftl_.stats().write_amplification(); });
   scope.gauge_fn("write_buffer_bytes",

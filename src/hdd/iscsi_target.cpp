@@ -27,6 +27,14 @@ void IscsiTarget::register_metrics(const obs::Scope& scope) {
   scope.counter_fn("ram_misses", [this] { return ram_misses_; });
   scope.counter_fn("link.busy_ns",
                    [this] { return static_cast<u64>(link_.busy_time()); });
+  // Per-arm busy time: lets the time-series sampler attribute utilization to
+  // individual spindles ("util.hdd.disk.N.arm") and expose destage skew.
+  for (size_t i = 0; i < disks_.size(); ++i) {
+    scope.counter_fn("disk." + std::to_string(i) + ".arm_busy_ns",
+                     [this, i] {
+                       return static_cast<u64>(disks_[i]->arm_busy_time());
+                     });
+  }
   scope.gauge_fn("dirty_backlog_bytes",
                  [this] { return static_cast<double>(pending_bytes_); });
 }
@@ -87,7 +95,7 @@ blockdev::IoResult IscsiTarget::read(SimTime now, u64 lba, u32 n,
     ram_hits_ += n;
     for (u32 i = 0; i < n; ++i) {
       u64 tag = 0;
-      cache_lookup(lba + i, &tag);
+      (void)cache_lookup(lba + i, &tag);  // resident: checked just above
       if (!tags_out.empty()) tags_out[i] = tag;
     }
     const SimTime done = link_transfer(now + cfg_.rtt / 2, blocks_to_bytes(n)) +

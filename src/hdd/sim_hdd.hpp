@@ -46,6 +46,10 @@ class SimHdd final : public BlockDevice {
   // Background ops (destage sweeps) yield to foreground ones on the arm.
   void set_background(bool background) override { background_ = background; }
 
+  // Cumulative arm service time (seek + rotation + transfer), for per-disk
+  // utilization attribution by the observability layer.
+  [[nodiscard]] SimTime arm_busy_time() const { return arm_.busy_time(); }
+
  private:
   IoResult access(SimTime now, u64 lba, u32 n);
 

@@ -38,6 +38,7 @@ common::Histogram LatencyRecorder::writes() const {
 
 void LatencyRecorder::reset() {
   for (auto& h : hist_) h.reset();
+  clamped_ = 0;
 }
 
 }  // namespace srcache::obs

@@ -46,7 +46,13 @@ struct LatencySummary {
 class LatencyRecorder {
  public:
   void record(ReqClass c, sim::SimTime latency_ns) {
-    if (latency_ns < 0) latency_ns = 0;
+    if (latency_ns < 0) {
+      // A negative latency means a simulator timing bug (completion before
+      // issue). Clamp so the histogram stays valid, but count it — silent
+      // swallowing is how such bugs stay invisible.
+      latency_ns = 0;
+      ++clamped_;
+    }
     hist_[static_cast<size_t>(c)].record(static_cast<u64>(latency_ns));
   }
 
@@ -57,10 +63,15 @@ class LatencyRecorder {
   [[nodiscard]] common::Histogram reads() const;
   [[nodiscard]] common::Histogram writes() const;
 
+  // Samples whose negative latency was clamped to 0 (surfaced in RunResult
+  // and REPRO_JSON as the "obs.latency.clamped" counter; nonzero = bug).
+  [[nodiscard]] u64 clamped() const { return clamped_; }
+
   void reset();
 
  private:
   std::array<common::Histogram, kNumReqClasses> hist_;
+  u64 clamped_ = 0;
 };
 
 }  // namespace srcache::obs

@@ -46,7 +46,9 @@ class ServiceTimeline {
 // channels). Work is placed on the earliest-free unit.
 class MultiServer {
  public:
-  explicit MultiServer(int units) : free_at_(static_cast<size_t>(units), 0) {}
+  explicit MultiServer(int units)
+      : free_at_(static_cast<size_t>(units), 0),
+        unit_busy_(static_cast<size_t>(units), 0) {}
 
   SimTime submit(SimTime now, SimTime service) {
     size_t best = 0;
@@ -54,6 +56,7 @@ class MultiServer {
       if (free_at_[i] < free_at_[best]) best = i;
     const SimTime start = free_at_[best] > now ? free_at_[best] : now;
     free_at_[best] = start + service;
+    unit_busy_[best] += service;
     busy_time_ += service;
     return free_at_[best];
   }
@@ -94,14 +97,21 @@ class MultiServer {
 
   [[nodiscard]] int units() const { return static_cast<int>(free_at_.size()); }
   [[nodiscard]] SimTime busy_time() const { return busy_time_; }
+  // Per-unit share of busy_time() — exposes placement skew (a single die
+  // serving a long erase while its siblings idle) that the aggregate hides.
+  [[nodiscard]] SimTime busy_time(size_t unit) const {
+    return unit_busy_.at(unit);
+  }
 
   void reset() {
     for (auto& f : free_at_) f = 0;
+    for (auto& b : unit_busy_) b = 0;
     busy_time_ = 0;
   }
 
  private:
   std::vector<SimTime> free_at_;
+  std::vector<SimTime> unit_busy_;
   SimTime busy_time_ = 0;
 };
 

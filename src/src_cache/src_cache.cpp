@@ -191,6 +191,26 @@ void SrcCache::register_metrics(const obs::Scope& scope) {
                  [this] { return static_cast<double>(free_sgs_.size()); });
   scope.gauge_fn("cached_blocks",
                  [this] { return static_cast<double>(map_.size()); });
+  // Segment-buffer occupancy (staged blocks and fill fraction): sampled over
+  // time this shows the stage-seal-flush rhythm behind the flush plateaus.
+  scope.gauge_fn("dirty_buffer_blocks", [this] {
+    return static_cast<double>(dirty_buf_.lbas.size());
+  });
+  scope.gauge_fn("clean_buffer_blocks", [this] {
+    return static_cast<double>(clean_buf_.lbas.size());
+  });
+  scope.gauge_fn("dirty_buffer_frac", [this] {
+    const u64 cap = buffer_capacity(/*dirty_type=*/true);
+    return cap == 0 ? 0.0
+                    : static_cast<double>(dirty_buf_.lbas.size()) /
+                          static_cast<double>(cap);
+  });
+  scope.gauge_fn("clean_buffer_frac", [this] {
+    const u64 cap = buffer_capacity(/*dirty_type=*/false);
+    return cap == 0 ? 0.0
+                    : static_cast<double>(clean_buf_.lbas.size()) /
+                          static_cast<double>(cap);
+  });
 }
 
 // --- bookkeeping ------------------------------------------------------------

@@ -37,6 +37,7 @@ std::string run_json(const std::string& bench, const std::string& name,
   w.kv("hit_ratio", r.hit_ratio);
 
   w.key("latency_ns").begin_object();
+  w.kv("clamped", r.latency_clamped);
   latency_summary(w, "read", r.read_lat);
   latency_summary(w, "write", r.write_lat);
   for (int c = 0; c < obs::kNumReqClasses; ++c) {
@@ -70,6 +71,7 @@ std::string run_json(const std::string& bench, const std::string& name,
   w.end_object();
 
   w.key("metrics").raw(r.metrics.to_json());
+  if (!r.timeseries.empty()) w.key("timeseries").raw(r.timeseries.to_json());
   w.end_object();
   return w.take();
 }
@@ -77,7 +79,7 @@ std::string run_json(const std::string& bench, const std::string& name,
 std::string ReproReport::to_json() const {
   obs::JsonWriter w;
   w.begin_object();
-  w.kv("schema", "srcache-repro-v1");
+  w.kv("schema", "srcache-repro-v2");
   w.kv("scale", scale_);
   w.kv("virtual_seconds", virtual_seconds_);
   w.key("runs").begin_array();

@@ -8,15 +8,23 @@
 // of scraped from text tables.
 //
 // Schema (stable; version bumps change "schema"):
-//   { "schema": "srcache-repro-v1",
+//   { "schema": "srcache-repro-v2",
 //     "scale": 0.25, "virtual_seconds": 10,
 //     "runs": [ { "bench": ..., "name": ...,
 //                 "seconds", "ops", "bytes",
 //                 "throughput_mbps", "io_amplification", "hit_ratio",
-//                 "latency_ns": { "read"|"write"|<class>:
+//                 "latency_ns": { "clamped",
+//                                 "read"|"write"|<class>:
 //                                 {count,mean,p50,p95,p99,p999,max} },
 //                 "cache": {...}, "ssd": {...},
-//                 "metrics": {"counters":{},"gauges":{},"histograms":{}} } ] }
+//                 "metrics": {"counters":{},"gauges":{},"histograms":{}},
+//                 "timeseries": { "interval_ns", "window_start_ns",
+//                                 "truncated", "samples": [...] } } ] }
+//
+// v2 is a superset of v1: every v1 field is unchanged; v2 adds
+// "latency_ns.clamped" and, for runs sampled with REPRO_TIMESERIES_MS, the
+// per-interval "timeseries" object (obs/timeseries.hpp). Consumers keyed on
+// the v1 fields keep working against either version.
 #pragma once
 
 #include <string>

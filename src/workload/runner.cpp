@@ -30,6 +30,7 @@ RunResult Runner::run(const std::vector<Generator*>& gens,
   }
 
   RunResult res;
+  obs::TimeSeriesSampler sampler(cfg.registry, cfg.timeseries_interval);
   std::vector<u64> tagbuf;
   // `measure` gates latency/trace recording so the warm-up phase stays out
   // of the histograms. Classification reads the cache's own hit counters
@@ -57,8 +58,10 @@ RunResult Runner::run(const std::vector<Generator*>& gens,
     if (measure) {
       const u64 miss_after = op.is_write ? cache_->stats().write_new_blocks
                                          : cache_->stats().read_miss_blocks;
-      res.latency.record(obs::classify(op.is_write, miss_after == miss_before),
-                         done - now);
+      const bool hit = miss_after == miss_before;
+      res.latency.record(obs::classify(op.is_write, hit), done - now);
+      sampler.record(now, op.is_write, hit, op.nblocks,
+                     blocks_to_bytes(op.nblocks));
       if (cfg.trace != nullptr) {
         cfg.trace->complete(op.is_write ? "req.write" : "req.read",
                             cfg.trace_track, now, done, op.nblocks);
@@ -90,6 +93,7 @@ RunResult Runner::run(const std::vector<Generator*>& gens,
   const cache::CacheStats cache_before = cache_->stats();
   obs::MetricsSnapshot metrics_before;
   if (cfg.registry != nullptr) metrics_before = cfg.registry->snapshot();
+  sampler.start(start);
 
   while (!heap.empty()) {
     const auto [now, g] = heap.top();
@@ -99,6 +103,9 @@ RunResult Runner::run(const std::vector<Generator*>& gens,
     res.bytes += issue(now, g, /*measure=*/true);
     res.ops++;
   }
+  // Close out the sampled window at the nominal end: trailing zero-request
+  // intervals (op budget exhausted, streams drained) are real idle time.
+  sampler.finish(start + cfg.duration);
 
   res.seconds = sim::to_seconds(cfg.duration);
   res.throughput_mbps = static_cast<double>(res.bytes) / 1e6 / res.seconds;
@@ -145,8 +152,13 @@ RunResult Runner::run(const std::vector<Generator*>& gens,
     res.class_lat[static_cast<size_t>(c)] = obs::LatencySummary::of(
         res.latency.histogram(static_cast<obs::ReqClass>(c)));
   }
+  res.latency_clamped = res.latency.clamped();
   if (cfg.registry != nullptr)
     res.metrics = cfg.registry->snapshot().delta_since(metrics_before);
+  // Surface the clamp counter alongside the stack's own metrics so timing
+  // bugs show up in REPRO_JSON instead of being swallowed.
+  res.metrics.counters["obs.latency.clamped"] = res.latency_clamped;
+  res.timeseries = sampler.take();
   return res;
 }
 

@@ -12,6 +12,7 @@
 #include "cache/cache_device.hpp"
 #include "obs/latency.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "workload/generators.hpp"
 
@@ -34,6 +35,11 @@ struct RunConfig {
   // only) as "req.read"/"req.write" complete events on `trace_track`.
   obs::TraceLog* trace = nullptr;
   u32 trace_track = obs::kTrackApp;
+  // Optional: fixed-interval time-series sampling of the measurement window
+  // (0 = off). Derived per-interval series (throughput, hit ratio, per-
+  // resource utilization, ...) land in RunResult.timeseries; resource series
+  // need `registry` to be set as well.
+  sim::SimTime timeseries_interval = 0;
 };
 
 struct RunResult {
@@ -58,10 +64,18 @@ struct RunResult {
   obs::LatencySummary write_lat;
   std::array<obs::LatencySummary, obs::kNumReqClasses> class_lat;
   obs::LatencyRecorder latency;
+  // Samples whose negative latency the recorder clamped to 0 (nonzero means
+  // a timing bug in the simulated stack; also exported as the
+  // "obs.latency.clamped" metrics counter).
+  u64 latency_clamped = 0;
 
   // Delta of RunConfig::registry across the measurement window (empty when
   // no registry was supplied).
   obs::MetricsSnapshot metrics;
+
+  // Fixed-interval samples of the measurement window (empty unless
+  // RunConfig::timeseries_interval > 0).
+  obs::TimeSeries timeseries;
 };
 
 class Runner {

@@ -2,6 +2,7 @@
 // trace ring + Chrome export schema, JSON round-trips of REPRO output.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <memory>
@@ -14,6 +15,7 @@
 #include "obs/json.hpp"
 #include "obs/latency.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "src_cache/src_cache.hpp"
 #include "workload/report.hpp"
@@ -190,6 +192,21 @@ TEST(Latency, ClassifyAndMerge) {
   EXPECT_EQ(rec.reads().count(), 0u);
 }
 
+TEST(Latency, NegativeLatencyClampIsCounted) {
+  obs::LatencyRecorder rec;
+  rec.record(obs::ReqClass::kReadHit, 500);
+  EXPECT_EQ(rec.clamped(), 0u);
+  rec.record(obs::ReqClass::kReadHit, -1);
+  rec.record(obs::ReqClass::kWriteMiss, -123456);
+  // Clamped samples still land in the histograms (as 0) but are counted.
+  EXPECT_EQ(rec.clamped(), 2u);
+  EXPECT_EQ(rec.reads().count(), 2u);
+  EXPECT_EQ(rec.writes().count(), 1u);
+  EXPECT_EQ(rec.histogram(obs::ReqClass::kWriteMiss).max(), 0u);
+  rec.reset();
+  EXPECT_EQ(rec.clamped(), 0u);
+}
+
 // --- TraceLog --------------------------------------------------------------
 
 TEST(Trace, RingWraparound) {
@@ -251,6 +268,177 @@ TEST(Trace, ChromeJsonSchema) {
   // ts is microseconds: the instant at 1000 ns sorts first at 1 us.
   EXPECT_DOUBLE_EQ(v.array[0].find("ts")->number, 1.0);
   EXPECT_EQ(v.array[0].find("name")->string, "src.ssd_failure");
+}
+
+// --- TimeSeriesSampler ------------------------------------------------------
+
+TEST(TimeSeries, IntervalAlignmentAtWindowEdges) {
+  // Window starts off any boundary grid; the tail interval is partial.
+  obs::TimeSeriesSampler s(nullptr, 100);
+  ASSERT_TRUE(s.enabled());
+  s.start(50);
+  s.record(60, /*is_write=*/false, /*hit=*/true, 2, 10);
+  s.record(149, false, false, 2, 30);
+  s.record(250, true, false, 1, 40);  // crosses the 150 and 250 boundaries
+  s.finish(305);
+  const obs::TimeSeries ts = s.take();
+  EXPECT_EQ(ts.interval, 100);
+  EXPECT_EQ(ts.window_start, 50);
+  EXPECT_FALSE(ts.truncated);
+  ASSERT_EQ(ts.samples.size(), 3u);
+  EXPECT_EQ(ts.samples[0].start, 50);
+  EXPECT_EQ(ts.samples[0].end, 150);
+  EXPECT_EQ(ts.samples[0].ops, 2u);
+  EXPECT_EQ(ts.samples[0].bytes, 40u);
+  EXPECT_DOUBLE_EQ(ts.samples[0].hit_ratio, 0.5);
+  EXPECT_EQ(ts.samples[1].ops, 0u);  // [150,250) saw no completions
+  EXPECT_DOUBLE_EQ(ts.samples[1].throughput_mbps, 0.0);
+  EXPECT_EQ(ts.samples[2].start, 250);
+  EXPECT_EQ(ts.samples[2].end, 305);  // partial tail keeps its true length
+  EXPECT_EQ(ts.samples[2].ops, 1u);
+  // Rates normalize by the actual (shorter) tail duration.
+  EXPECT_DOUBLE_EQ(ts.samples[2].throughput_mbps,
+                   40.0 / 1e6 / sim::to_seconds(55));
+}
+
+TEST(TimeSeries, FinishOnBoundaryProducesNoEmptyTail) {
+  obs::TimeSeriesSampler s(nullptr, 100);
+  s.start(0);
+  s.record(10, false, true, 1, 4096);
+  s.finish(200);
+  const obs::TimeSeries ts = s.take();
+  ASSERT_EQ(ts.samples.size(), 2u);
+  EXPECT_EQ(ts.samples[1].start, 100);
+  EXPECT_EQ(ts.samples[1].end, 200);
+}
+
+TEST(TimeSeries, ZeroRequestIntervalsAreEmitted) {
+  obs::TimeSeriesSampler s(nullptr, 100);
+  s.start(0);
+  s.record(10, false, true, 1, 100);
+  s.record(910, false, true, 1, 100);  // long idle gap
+  s.finish(1000);
+  const obs::TimeSeries ts = s.take();
+  ASSERT_EQ(ts.samples.size(), 10u);
+  for (size_t i = 1; i <= 8; ++i) {
+    EXPECT_EQ(ts.samples[i].ops, 0u) << i;
+    EXPECT_EQ(ts.samples[i].bytes, 0u) << i;
+    EXPECT_DOUBLE_EQ(ts.samples[i].hit_ratio, 0.0) << i;
+  }
+  EXPECT_EQ(ts.samples[9].ops, 1u);
+}
+
+TEST(TimeSeries, DisabledAndTruncatedSamplers) {
+  obs::TimeSeriesSampler off(nullptr, 0);
+  EXPECT_FALSE(off.enabled());
+  off.start(0);
+  off.record(10, false, true, 1, 100);
+  off.finish(1000);
+  EXPECT_TRUE(off.take().empty());
+
+  obs::TimeSeriesSampler capped(nullptr, 10, /*max_samples=*/3);
+  capped.start(0);
+  capped.record(5, false, true, 1, 100);
+  capped.finish(1000);  // would need 100 samples
+  const obs::TimeSeries ts = capped.take();
+  EXPECT_TRUE(ts.truncated);
+  EXPECT_EQ(ts.samples.size(), 3u);
+}
+
+TEST(TimeSeries, UtilizationFromBusyDeltasIsMonotoneNonNegative) {
+  obs::MetricsRegistry reg;
+  u64 busy = 0;
+  reg.counter_fn("ssd.0.nand_busy_ns", [&busy] { return busy; });
+  reg.gauge_fn("ssd.0.nand_units", [] { return 2.0; });
+  double frac = 0.25;
+  reg.gauge_fn("src.dirty_buffer_frac", [&frac] { return frac; });
+
+  obs::TimeSeriesSampler s(&reg, 100);
+  s.start(0);
+  busy = 100;  // 100 ns of service charged across 2 units in [0,100)
+  s.record(100, false, true, 1, 4096);  // closes [0,100)
+  busy = 300;  // fully busy interval
+  frac = 0.75;
+  s.record(250, false, true, 1, 4096);  // closes [100,200)
+  busy = 250;  // counter went "backwards" (reset): delta clamps to 0
+  s.finish(300);
+  const obs::TimeSeries ts = s.take();
+  ASSERT_EQ(ts.samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.samples[0].series.at("util.ssd.0.nand"), 0.5);
+  EXPECT_DOUBLE_EQ(ts.samples[1].series.at("util.ssd.0.nand"), 1.0);
+  EXPECT_DOUBLE_EQ(ts.samples[2].series.at("util.ssd.0.nand"), 0.0);
+  for (const auto& sample : ts.samples)
+    for (const auto& [name, v] : sample.series) {
+      if (name.starts_with("util.")) { EXPECT_GE(v, 0.0) << name; }
+    }
+  // Gauges pass through point-in-time; *_units helper gauges do not.
+  EXPECT_DOUBLE_EQ(ts.samples[0].series.at("src.dirty_buffer_frac"), 0.25);
+  EXPECT_DOUBLE_EQ(ts.samples[1].series.at("src.dirty_buffer_frac"), 0.75);
+  EXPECT_EQ(ts.samples[0].series.count("ssd.0.nand_units"), 0u);
+}
+
+TEST(TimeSeries, CsvEscaping) {
+  obs::TimeSeries ts;
+  ts.interval = 100;
+  ts.window_start = 0;
+  obs::TimeSample a;
+  a.start = 0;
+  a.end = 100;
+  a.ops = 1;
+  a.bytes = 4096;
+  a.series["plain"] = 2.0;
+  a.series["we,\"ird\nname"] = 1.5;
+  ts.samples.push_back(a);
+  const std::string csv = ts.to_csv();
+  const size_t nl = csv.find('\n');
+  ASSERT_NE(nl, std::string::npos);
+  // The awkward series name is quoted with its inner quote doubled; the
+  // plain one is untouched.
+  EXPECT_NE(csv.find("\"we,\"\"ird\nname\""), std::string::npos);
+  EXPECT_EQ(
+      csv.substr(0, nl),
+      "t_ms,dur_ms,ops,bytes,throughput_mbps,hit_ratio,io_amplification,"
+      "plain,\"we,\"\"ird");  // header row continues past the embedded \n
+  EXPECT_NE(csv.find(",2,1.5\n"), std::string::npos);  // data row tail
+}
+
+TEST(TimeSeries, JsonRoundTrip) {
+  obs::MetricsRegistry reg;
+  u64 busy = 0;
+  reg.counter_fn("ssd.0.nand_busy_ns", [&busy] { return busy; });
+  obs::TimeSeriesSampler s(&reg, 100);
+  s.start(40);
+  busy = 70;
+  s.record(60, false, true, 8, 32768);
+  s.record(170, true, false, 2, 8192);
+  s.finish(240);
+  const obs::TimeSeries ts = s.take();
+
+  const auto parsed = obs::parse_json(ts.to_json());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const auto back = obs::TimeSeries::from_json(parsed.value());
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  const obs::TimeSeries& rt = back.value();
+  EXPECT_EQ(rt.interval, ts.interval);
+  EXPECT_EQ(rt.window_start, ts.window_start);
+  EXPECT_EQ(rt.truncated, ts.truncated);
+  ASSERT_EQ(rt.samples.size(), ts.samples.size());
+  for (size_t i = 0; i < ts.samples.size(); ++i) {
+    EXPECT_EQ(rt.samples[i].start, ts.samples[i].start) << i;
+    EXPECT_EQ(rt.samples[i].end, ts.samples[i].end) << i;
+    EXPECT_EQ(rt.samples[i].ops, ts.samples[i].ops) << i;
+    EXPECT_EQ(rt.samples[i].bytes, ts.samples[i].bytes) << i;
+    EXPECT_EQ(rt.samples[i].hits, ts.samples[i].hits) << i;
+    EXPECT_EQ(rt.samples[i].misses, ts.samples[i].misses) << i;
+    EXPECT_DOUBLE_EQ(rt.samples[i].throughput_mbps,
+                     ts.samples[i].throughput_mbps)
+        << i;
+    EXPECT_EQ(rt.samples[i].series, ts.samples[i].series) << i;
+  }
+  // And the CSV regenerated from the round-tripped series is identical.
+  EXPECT_EQ(rt.to_csv(), ts.to_csv());
+
+  EXPECT_FALSE(obs::TimeSeries::from_json(obs::JsonValue{}).is_ok());
 }
 
 // --- End-to-end: instrumented SRC stack ------------------------------------
@@ -318,6 +506,7 @@ struct ObsRig {
     rc.warmup_bytes = 8 * MiB;
     rc.registry = &registry;
     rc.trace = &trace;
+    rc.timeseries_interval = 100 * sim::kMs;  // 20 intervals per run
     return runner.run({&gen}, rc);
   }
 };
@@ -341,8 +530,46 @@ TEST(ObsEndToEnd, RunnerFillsLatencyAndMetrics) {
   EXPECT_GT(res.metrics.counters.at("ssd.0.write_blocks"), 0u);
   ASSERT_TRUE(res.metrics.counters.count("ssd.3.gc.erases"));
   ASSERT_TRUE(res.metrics.counters.count("ssd.0.flushes"));
+  ASSERT_TRUE(res.metrics.counters.count("ssd.0.controller_busy_ns"));
+  ASSERT_TRUE(res.metrics.counters.count("ssd.0.nand.die.3.busy_ns"));
   ASSERT_TRUE(res.metrics.counters.count("hdd.read_ops"));
+  ASSERT_TRUE(res.metrics.counters.count("hdd.disk.0.arm_busy_ns"));
   EXPECT_TRUE(res.metrics.gauges.count("src.utilization"));
+  EXPECT_TRUE(res.metrics.gauges.count("src.dirty_buffer_frac"));
+  // A clean run clamps no latencies, and says so.
+  EXPECT_EQ(res.latency_clamped, 0u);
+  EXPECT_EQ(res.metrics.counters.at("obs.latency.clamped"), 0u);
+
+  // The sampled window partitions the run: per-interval ops/bytes sum back
+  // to the totals, intervals tile [start, start+duration), and per-resource
+  // utilization is present and non-negative throughout.
+  const obs::TimeSeries& ts = res.timeseries;
+  ASSERT_FALSE(ts.empty());
+  EXPECT_FALSE(ts.truncated);
+  EXPECT_EQ(ts.samples.size(), 20u);
+  u64 ts_ops = 0, ts_bytes = 0;
+  sim::SimTime expect_start = ts.window_start;
+  for (const auto& sample : ts.samples) {
+    EXPECT_EQ(sample.start, expect_start);
+    expect_start = sample.end;
+    ts_ops += sample.ops;
+    ts_bytes += sample.bytes;
+    ASSERT_TRUE(sample.series.count("util.ssd.0.nand"));
+    ASSERT_TRUE(sample.series.count("util.ssd.0.controller"));
+    ASSERT_TRUE(sample.series.count("util.hdd.link"));
+    ASSERT_TRUE(sample.series.count("util.hdd.disk.0.arm"));
+    ASSERT_TRUE(sample.series.count("gc.erases"));
+    for (const auto& [name, v] : sample.series) {
+      if (name.starts_with("util.")) { EXPECT_GE(v, 0.0) << name; }
+    }
+  }
+  EXPECT_EQ(ts_ops, res.ops);
+  EXPECT_EQ(ts_bytes, res.bytes);
+  // The run pushes real traffic, so NAND utilization shows up somewhere.
+  double max_nand = 0.0;
+  for (const auto& sample : ts.samples)
+    max_nand = std::max(max_nand, sample.series.at("util.ssd.0.nand"));
+  EXPECT_GT(max_nand, 0.0);
 
   // The trace saw application requests and cache internals.
   std::set<std::string> names;
@@ -361,7 +588,7 @@ TEST(ObsEndToEnd, ReportJsonRoundTrip) {
   const auto parsed = obs::parse_json(report.to_json());
   ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
   const obs::JsonValue& doc = parsed.value();
-  EXPECT_EQ(doc.find("schema")->string, "srcache-repro-v1");
+  EXPECT_EQ(doc.find("schema")->string, "srcache-repro-v2");
   ASSERT_TRUE(doc.find("runs")->is_array());
   ASSERT_EQ(doc.find("runs")->array.size(), 1u);
 
@@ -384,6 +611,30 @@ TEST(ObsEndToEnd, ReportJsonRoundTrip) {
     }
   }
   EXPECT_DOUBLE_EQ(lat->find("read")->find("p99")->number, res.read_lat.p99);
+
+  // v2 additions: the clamp counter sits inside latency_ns...
+  const obs::JsonValue* clamped = lat->find("clamped");
+  ASSERT_NE(clamped, nullptr);
+  EXPECT_TRUE(clamped->is_number());
+  EXPECT_DOUBLE_EQ(clamped->number, 0.0);
+
+  // ...and the embedded timeseries object round-trips losslessly.
+  const obs::JsonValue* ts = run.find("timeseries");
+  ASSERT_NE(ts, nullptr);
+  ASSERT_TRUE(ts->is_object());
+  ASSERT_NE(ts->find("samples"), nullptr);
+  EXPECT_EQ(ts->find("samples")->array.size(), res.timeseries.samples.size());
+  const auto decoded = obs::TimeSeries::from_json(*ts);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value().interval, res.timeseries.interval);
+  EXPECT_EQ(decoded.value().window_start, res.timeseries.window_start);
+  ASSERT_FALSE(decoded.value().samples.empty());
+  const obs::TimeSample& got = decoded.value().samples.front();
+  const obs::TimeSample& want = res.timeseries.samples.front();
+  EXPECT_EQ(got.ops, want.ops);
+  EXPECT_TRUE(got.series.count("util.ssd.0.nand"));
+  EXPECT_DOUBLE_EQ(got.series.at("util.ssd.0.nand"),
+                   want.series.at("util.ssd.0.nand"));
 
   // Per-SSD GC / erase / flush counters from the registry delta.
   const obs::JsonValue* counters = run.find("metrics")->find("counters");

@@ -107,6 +107,37 @@ TEST(MultiServer, BatchSmallerThanUnits) {
   EXPECT_EQ(m.busy_time(), 150);
 }
 
+TEST(MultiServer, PerUnitBusyTimeExposesSkew) {
+  MultiServer m(3);
+  // One long op lands on the first idle unit; the short ones go elsewhere
+  // (earliest-free placement), so the load is visibly skewed per unit even
+  // though the aggregate hides it.
+  m.submit(0, 300);
+  m.submit(0, 10);
+  m.submit(0, 10);
+  SimTime sum = 0, max_busy = 0, min_busy = m.busy_time();
+  for (int i = 0; i < m.units(); ++i) {
+    const SimTime b = m.busy_time(static_cast<size_t>(i));
+    sum += b;
+    max_busy = std::max(max_busy, b);
+    min_busy = std::min(min_busy, b);
+  }
+  EXPECT_EQ(sum, m.busy_time());  // per-unit shares partition the aggregate
+  EXPECT_EQ(max_busy, 300);
+  EXPECT_EQ(min_busy, 10);
+  EXPECT_GT(max_busy, min_busy);  // the skew is observable
+
+  // A symmetric batch spreads evenly: no skew.
+  MultiServer even(4);
+  even.submit_batch(0, 8, 25);
+  for (int i = 0; i < even.units(); ++i)
+    EXPECT_EQ(even.busy_time(static_cast<size_t>(i)), 50);
+
+  even.reset();
+  for (int i = 0; i < even.units(); ++i)
+    EXPECT_EQ(even.busy_time(static_cast<size_t>(i)), 0);
+}
+
 TEST(MultiServer, ThroughputScalesWithUnits) {
   // 1000 ops of 10 on k units should take ~10000/k.
   for (int k : {1, 2, 4, 8}) {

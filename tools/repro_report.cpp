@@ -1,0 +1,291 @@
+// repro_report: the regression end of the REPRO_JSON loop.
+//
+// Loads one or two REPRO_JSON documents (schema srcache-repro-v1 or -v2,
+// written by any bench binary with REPRO_JSON=<path>):
+//
+//   repro_report A.json            per-run summary of one document
+//   repro_report A.json B.json     A/B comparison: A is the baseline, B the
+//                                  candidate; exits 1 when B regresses any
+//                                  matched run beyond the thresholds
+//
+// Options:
+//   --thr-throughput F   max relative throughput drop        (default 0.05)
+//   --thr-p99 F          max relative read/write p99 increase (default 0.25)
+//   --thr-waf F          max relative I/O-amplification increase (default 0.25)
+//   --csv DIR            write each run's embedded time series (v2 only) as
+//                        DIR/<bench>__<name>.csv for plotting
+//
+// Exit codes: 0 = ok, 1 = regression (or baseline run missing from B),
+// 2 = usage / I/O / parse error.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "obs/json.hpp"
+#include "obs/timeseries.hpp"
+
+namespace {
+
+using srcache::common::Table;
+using srcache::obs::JsonValue;
+using srcache::obs::TimeSeries;
+
+struct Options {
+  double thr_throughput = 0.05;
+  double thr_p99 = 0.25;
+  double thr_waf = 0.25;
+  std::string csv_dir;
+  std::vector<std::string> files;
+};
+
+struct Run {
+  std::string bench;
+  std::string name;
+  const JsonValue* json = nullptr;
+};
+
+struct Doc {
+  std::string schema;
+  JsonValue root;
+  std::vector<Run> runs;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--thr-throughput F] [--thr-p99 F] [--thr-waf F]\n"
+      "       %*s [--csv DIR] baseline.json [candidate.json]\n",
+      argv0, static_cast<int>(std::strlen(argv0)), "");
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](double* out) {
+      if (i + 1 >= argc) return false;
+      char* end = nullptr;
+      *out = std::strtod(argv[++i], &end);
+      return end != nullptr && *end == '\0' && *out >= 0.0;
+    };
+    if (a == "--thr-throughput") {
+      if (!next(&opt->thr_throughput)) return false;
+    } else if (a == "--thr-p99") {
+      if (!next(&opt->thr_p99)) return false;
+    } else if (a == "--thr-waf") {
+      if (!next(&opt->thr_waf)) return false;
+    } else if (a == "--csv") {
+      if (i + 1 >= argc) return false;
+      opt->csv_dir = argv[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      return false;
+    } else {
+      opt->files.push_back(a);
+    }
+  }
+  return opt->files.size() == 1 || opt->files.size() == 2;
+}
+
+bool load_doc(const std::string& path, Doc* doc) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "repro_report: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto parsed = srcache::obs::parse_json(buf.str());
+  if (!parsed.is_ok()) {
+    std::fprintf(stderr, "repro_report: %s: %s\n", path.c_str(),
+                 parsed.status().to_string().c_str());
+    return false;
+  }
+  doc->root = std::move(parsed).take();
+  const JsonValue* schema = doc->root.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      !schema->string.starts_with("srcache-repro-v")) {
+    std::fprintf(stderr, "repro_report: %s: not a REPRO_JSON document\n",
+                 path.c_str());
+    return false;
+  }
+  doc->schema = schema->string;
+  const JsonValue* runs = doc->root.find("runs");
+  if (runs == nullptr || !runs->is_array()) {
+    std::fprintf(stderr, "repro_report: %s: missing \"runs\"\n", path.c_str());
+    return false;
+  }
+  for (const JsonValue& r : runs->array) {
+    const JsonValue* bench = r.find("bench");
+    const JsonValue* name = r.find("name");
+    if (bench == nullptr || name == nullptr) continue;
+    doc->runs.push_back({bench->string, name->string, &r});
+  }
+  return true;
+}
+
+double metric(const JsonValue& run, std::string_view key) {
+  return run.number_or(key, 0.0);
+}
+
+double p99(const JsonValue& run, const char* dir) {
+  const JsonValue* lat = run.find("latency_ns");
+  if (lat == nullptr) return 0.0;
+  const JsonValue* d = lat->find(dir);
+  return d == nullptr ? 0.0 : d->number_or("p99", 0.0);
+}
+
+size_t timeseries_samples(const JsonValue& run) {
+  const JsonValue* ts = run.find("timeseries");
+  if (ts == nullptr) return 0;
+  const JsonValue* samples = ts->find("samples");
+  return samples != nullptr && samples->is_array() ? samples->array.size() : 0;
+}
+
+std::string sanitize(const std::string& s) {
+  std::string out;
+  for (char c : s)
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  return out;
+}
+
+// Writes DIR/<bench>__<name>.csv for every run that embeds a time series.
+bool export_csv(const Doc& doc, const std::string& dir) {
+  bool all_ok = true;
+  size_t written = 0;
+  for (const Run& run : doc.runs) {
+    const JsonValue* ts = run.json->find("timeseries");
+    if (ts == nullptr) continue;
+    auto parsed = TimeSeries::from_json(*ts);
+    if (!parsed.is_ok()) {
+      std::fprintf(stderr, "repro_report: %s/%s: %s\n", run.bench.c_str(),
+                   run.name.c_str(), parsed.status().to_string().c_str());
+      all_ok = false;
+      continue;
+    }
+    const std::string path =
+        dir + "/" + sanitize(run.bench) + "__" + sanitize(run.name) + ".csv";
+    std::ofstream out(path, std::ios::binary);
+    if (!out || !(out << parsed.value().to_csv())) {
+      std::fprintf(stderr, "repro_report: cannot write %s\n", path.c_str());
+      all_ok = false;
+      continue;
+    }
+    std::printf("wrote %s (%zu samples)\n", path.c_str(),
+                parsed.value().samples.size());
+    ++written;
+  }
+  if (written == 0)
+    std::printf("--csv: no runs carry a time series "
+                "(run the bench with REPRO_TIMESERIES_MS set)\n");
+  return all_ok;
+}
+
+void print_summary(const std::string& path, const Doc& doc) {
+  std::printf("%s  (%s, %zu runs, scale=%g, %gs virtual)\n", path.c_str(),
+              doc.schema.c_str(), doc.runs.size(),
+              doc.root.number_or("scale", 0.0),
+              doc.root.number_or("virtual_seconds", 0.0));
+  Table t({"bench", "run", "MB/s", "IOA", "hit", "r p99 us", "w p99 us",
+           "clamped", "ts samples"});
+  for (const Run& run : doc.runs) {
+    const JsonValue* lat = run.json->find("latency_ns");
+    const double clamped =
+        lat == nullptr ? 0.0 : lat->number_or("clamped", 0.0);
+    t.add_row({run.bench, run.name,
+               Table::num(metric(*run.json, "throughput_mbps"), 1),
+               Table::num(metric(*run.json, "io_amplification"), 2),
+               Table::num(metric(*run.json, "hit_ratio"), 3),
+               Table::num(p99(*run.json, "read") / 1e3, 1),
+               Table::num(p99(*run.json, "write") / 1e3, 1),
+               Table::num(clamped, 0),
+               std::to_string(timeseries_samples(*run.json))});
+  }
+  t.print();
+}
+
+// Relative change of `b` vs baseline `a`; 0 when the baseline is 0.
+double rel(double a, double b) { return a == 0.0 ? 0.0 : (b - a) / a; }
+
+int compare(const Options& opt, const Doc& base, const Doc& cand) {
+  std::map<std::pair<std::string, std::string>, const JsonValue*> in_cand;
+  for (const Run& r : cand.runs) in_cand[{r.bench, r.name}] = r.json;
+
+  Table t({"bench", "run", "metric", "baseline", "candidate", "delta",
+           "verdict"});
+  int regressions = 0;
+  auto check = [&](const Run& run, const char* name, double a, double b,
+                   double worse_rel, double thr, int precision) {
+    const double d = rel(a, b);
+    const bool bad = worse_rel > thr;
+    if (bad) ++regressions;
+    t.add_row({run.bench, run.name, name, Table::num(a, precision),
+               Table::num(b, precision),
+               Table::num(100.0 * d, 1) + "%",
+               bad ? "REGRESSION" : "ok"});
+  };
+
+  for (const Run& run : base.runs) {
+    const auto it = in_cand.find({run.bench, run.name});
+    if (it == in_cand.end()) {
+      t.add_row({run.bench, run.name, "-", "-", "missing", "-", "REGRESSION"});
+      ++regressions;
+      continue;
+    }
+    const JsonValue& a = *run.json;
+    const JsonValue& b = *it->second;
+    check(run, "throughput_mbps", metric(a, "throughput_mbps"),
+          metric(b, "throughput_mbps"),
+          -rel(metric(a, "throughput_mbps"), metric(b, "throughput_mbps")),
+          opt.thr_throughput, 1);
+    check(run, "read_p99_us", p99(a, "read") / 1e3, p99(b, "read") / 1e3,
+          rel(p99(a, "read"), p99(b, "read")), opt.thr_p99, 1);
+    check(run, "write_p99_us", p99(a, "write") / 1e3, p99(b, "write") / 1e3,
+          rel(p99(a, "write"), p99(b, "write")), opt.thr_p99, 1);
+    check(run, "io_amplification", metric(a, "io_amplification"),
+          metric(b, "io_amplification"),
+          rel(metric(a, "io_amplification"), metric(b, "io_amplification")),
+          opt.thr_waf, 2);
+  }
+  t.print();
+  std::printf("\nthresholds: throughput -%.0f%%, p99 +%.0f%%, waf +%.0f%%\n",
+              100.0 * opt.thr_throughput, 100.0 * opt.thr_p99,
+              100.0 * opt.thr_waf);
+  if (regressions > 0) {
+    std::printf("%d regression(s) detected\n", regressions);
+    return 1;
+  }
+  std::printf("no regressions\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, &opt)) return usage(argv[0]);
+
+  Doc a;
+  if (!load_doc(opt.files[0], &a)) return 2;
+  print_summary(opt.files[0], a);
+
+  bool csv_ok = true;
+  if (!opt.csv_dir.empty()) csv_ok = export_csv(a, opt.csv_dir);
+
+  int rc = 0;
+  if (opt.files.size() == 2) {
+    Doc b;
+    if (!load_doc(opt.files[1], &b)) return 2;
+    std::printf("\n");
+    print_summary(opt.files[1], b);
+    std::printf("\n");
+    rc = compare(opt, a, b);
+  }
+  return csv_ok ? rc : 2;
+}
