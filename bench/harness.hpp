@@ -16,6 +16,8 @@
 //                       executed through run_group(SrcRig&, ...).
 #pragma once
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -38,14 +40,35 @@
 
 namespace srcache::bench {
 
+// Strict env-knob parsing: a typo'd REPRO_SCALE=0,5 or REPRO_SECONDS=10x
+// must abort with a clear message, not silently run the wrong experiment
+// (atof would read them as 0 and 10). The whole value must parse as a finite
+// number within [lo, hi].
+inline double env_knob(const char* name, double fallback, double lo,
+                       double hi) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0' || !std::isfinite(v) || v < lo ||
+      v > hi) {
+    std::fprintf(stderr,
+                 "%s=\"%s\" is not a number in [%g, %g]; "
+                 "refusing to run with a misconfigured knob\n",
+                 name, s, lo, hi);
+    std::exit(2);
+  }
+  return v;
+}
+
 inline double scale() {
-  if (const char* s = std::getenv("REPRO_SCALE")) return std::atof(s);
-  return 0.25;
+  static const double k = env_knob("REPRO_SCALE", 0.25, 1e-3, 64.0);
+  return k;
 }
 
 inline sim::SimTime run_duration() {
-  double secs = 10.0;
-  if (const char* s = std::getenv("REPRO_SECONDS")) secs = std::atof(s);
+  static const double secs = env_knob("REPRO_SECONDS", 10.0, 1e-3, 86400.0);
   return static_cast<sim::SimTime>(secs * 1e9);
 }
 
@@ -68,9 +91,8 @@ inline const char* repro_trace_path() { return std::getenv("REPRO_TRACE"); }
 // resource utilization) are embedded in the REPRO_JSON document (v2 schema)
 // and exportable as CSV via tools/repro_report. 0/unset = off.
 inline sim::SimTime repro_timeseries_interval() {
-  if (const char* s = std::getenv("REPRO_TIMESERIES_MS"))
-    return static_cast<sim::SimTime>(std::atof(s) * 1e6);
-  return 0;
+  static const double ms = env_knob("REPRO_TIMESERIES_MS", 0.0, 0.0, 1e9);
+  return static_cast<sim::SimTime>(ms * 1e6);
 }
 
 inline workload::ReproReport& json_report() {

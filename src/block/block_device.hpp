@@ -103,6 +103,23 @@ class BlockDevice {
   // stored content of one block without any device-visible error.
   virtual void corrupt(u64 lba) = 0;
 
+  // Latent sector errors: reads touching [lba, lba + n) return kMediaError
+  // until the blocks are rewritten (remap-on-write). Devices that do not
+  // model media errors ignore the injection.
+  virtual void inject_media_errors(u64 lba, u64 n) {
+    (void)lba;
+    (void)n;
+  }
+  virtual void clear_media_errors() {}
+
+  // Service degradation (link congestion, failing interconnect): service
+  // times are multiplied by `factor` until virtual time `until`. Devices
+  // without a degradable path ignore it.
+  virtual void degrade_service(double factor, SimTime until) {
+    (void)factor;
+    (void)until;
+  }
+
   // Marks subsequent operations as background (destaging, rebuild): they
   // yield to foreground traffic on devices that support priorities.
   // Default: no distinction.

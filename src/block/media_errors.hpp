@@ -1,0 +1,46 @@
+// MediaErrorSet: latent-sector-error tracking shared by simulated devices.
+//
+// Latent sector errors are the device-*reported* failure mode (as opposed
+// to silent corruption): a read touching a marked block returns
+// kMediaError. Writing the block succeeds and clears the mark — the
+// device's remap-on-write behaviour — which is what makes parity rebuild +
+// write-back an actual repair.
+#pragma once
+
+#include <map>
+
+#include "common/types.hpp"
+
+namespace srcache::blockdev {
+
+class MediaErrorSet {
+ public:
+  // Marks [lba, lba + n) as unreadable.
+  void add(u64 lba, u64 n) {
+    if (n == 0) return;
+    for (u64 i = 0; i < n; ++i) bad_.insert_or_assign(lba + i, true);
+  }
+
+  // Does any block of [lba, lba + n) carry a latent error?
+  [[nodiscard]] bool affects(u64 lba, u64 n) const {
+    if (bad_.empty()) return false;
+    auto it = bad_.lower_bound(lba);
+    return it != bad_.end() && it->first < lba + n;
+  }
+
+  // Remap-on-write: a write over marked blocks clears them.
+  void on_write(u64 lba, u64 n) {
+    if (bad_.empty()) return;
+    auto it = bad_.lower_bound(lba);
+    while (it != bad_.end() && it->first < lba + n) it = bad_.erase(it);
+  }
+
+  void clear() { bad_.clear(); }
+  [[nodiscard]] u64 size() const { return bad_.size(); }
+  [[nodiscard]] bool empty() const { return bad_.empty(); }
+
+ private:
+  std::map<u64, bool> bad_;
+};
+
+}  // namespace srcache::blockdev

@@ -11,26 +11,33 @@ MemDisk::MemDisk(const MemDiskConfig& cfg)
   }
 }
 
+SimTime MemDisk::scaled(SimTime now, SimTime service) const {
+  if (now >= degrade_until_ || degrade_factor_ <= 1.0) return service;
+  return static_cast<SimTime>(static_cast<double>(service) * degrade_factor_);
+}
+
 IoResult MemDisk::transfer(SimTime now, u64 lba, u32 n) {
   if (failed_) return {now, ErrorCode::kDeviceFailed};
   if (lba + n > cfg_.capacity_blocks) return {now, ErrorCode::kInvalidArgument};
   const SimTime service =
       cfg_.op_latency + sim::transfer_time(blocks_to_bytes(n), cfg_.bandwidth_mbps);
-  return {line_.submit(now, service), ErrorCode::kOk};
+  return {line_.submit(now, scaled(now, service)), ErrorCode::kOk};
 }
 
 IoResult MemDisk::read(SimTime now, u64 lba, u32 n, std::span<u64> tags_out) {
   IoResult r = transfer(now, lba, n);
   if (!r.ok()) return r;
-  content_.read(lba, n, tags_out);
   stats_.read_ops++;
   stats_.read_blocks += n;
+  if (media_.affects(lba, n)) return {r.done, ErrorCode::kMediaError};
+  content_.read(lba, n, tags_out);
   return r;
 }
 
 IoResult MemDisk::write(SimTime now, u64 lba, u32 n, std::span<const u64> tags) {
   IoResult r = transfer(now, lba, n);
   if (!r.ok()) return r;
+  media_.on_write(lba, n);
   content_.write(lba, n, tags);
   stats_.write_ops++;
   stats_.write_blocks += n;
@@ -41,6 +48,7 @@ IoResult MemDisk::write_payload(SimTime now, u64 lba, Payload payload) {
   const u32 n = static_cast<u32>(bytes_to_blocks(payload ? payload->size() : 1));
   IoResult r = transfer(now, lba, n == 0 ? 1 : n);
   if (!r.ok()) return r;
+  media_.on_write(lba, n == 0 ? 1 : n);
   content_.write_payload(lba, n == 0 ? 1 : n, std::move(payload));
   stats_.write_ops++;
   stats_.write_blocks += n == 0 ? 1 : n;
@@ -53,6 +61,7 @@ Result<Payload> MemDisk::read_payload(SimTime now, u64 lba, SimTime* done) {
   if (done != nullptr) *done = r.done;
   stats_.read_ops++;
   stats_.read_blocks += 1;
+  if (media_.affects(lba, 1)) return Status(ErrorCode::kMediaError);
   return content_.read_payload(lba);
 }
 
@@ -64,6 +73,7 @@ IoResult MemDisk::flush(SimTime now) {
 
 IoResult MemDisk::trim(SimTime now, u64 lba, u64 n) {
   if (failed_) return {now, ErrorCode::kDeviceFailed};
+  media_.on_write(lba, n);
   content_.discard(lba, n);
   stats_.trim_ops++;
   stats_.trim_blocks += n;

@@ -4,6 +4,7 @@
 
 #include "block/block_device.hpp"
 #include "block/content_store.hpp"
+#include "block/media_errors.hpp"
 #include "sim/timeline.hpp"
 
 namespace srcache::blockdev {
@@ -35,15 +36,26 @@ class MemDisk final : public BlockDevice {
   void heal() override { failed_ = false; }
   [[nodiscard]] bool failed() const override { return failed_; }
   void corrupt(u64 lba) override { content_.corrupt(lba); }
+  void inject_media_errors(u64 lba, u64 n) override { media_.add(lba, n); }
+  void clear_media_errors() override { media_.clear(); }
+  void degrade_service(double factor, SimTime until) override {
+    degrade_factor_ = factor;
+    degrade_until_ = until;
+  }
+  [[nodiscard]] u64 media_error_blocks() const { return media_.size(); }
 
  private:
   IoResult transfer(SimTime now, u64 lba, u32 n);
+  [[nodiscard]] SimTime scaled(SimTime now, SimTime service) const;
 
   MemDiskConfig cfg_;
   ContentStore content_;
+  MediaErrorSet media_;
   sim::ServiceTimeline line_;
   DeviceStats stats_;
   bool failed_ = false;
+  double degrade_factor_ = 1.0;
+  SimTime degrade_until_ = 0;
 };
 
 }  // namespace srcache::blockdev

@@ -21,6 +21,7 @@ enum class ErrorCode {
   kOutOfSpace,
   kInvalidArgument,
   kUnrecoverable,
+  kMediaError,
 };
 
 inline const char* to_string(ErrorCode c) {
@@ -32,6 +33,7 @@ inline const char* to_string(ErrorCode c) {
     case ErrorCode::kOutOfSpace: return "out-of-space";
     case ErrorCode::kInvalidArgument: return "invalid-argument";
     case ErrorCode::kUnrecoverable: return "unrecoverable";
+    case ErrorCode::kMediaError: return "media-error";
   }
   return "unknown";
 }

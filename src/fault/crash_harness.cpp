@@ -1,0 +1,326 @@
+#include "fault/crash_harness.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "block/mem_disk.hpp"
+#include "common/rng.hpp"
+
+namespace srcache::fault {
+
+namespace {
+
+using blockdev::MemDisk;
+using blockdev::MemDiskConfig;
+using src::SrcCache;
+using CrashPoint = SrcCache::CrashPoint;
+
+constexpr CrashPoint kPoints[] = {CrashPoint::kBeforeSeg, CrashPoint::kAfterMs,
+                                  CrashPoint::kAfterData};
+
+const char* point_name(CrashPoint p) {
+  switch (p) {
+    case CrashPoint::kBeforeSeg: return "before-seg";
+    case CrashPoint::kAfterMs: return "after-ms";
+    case CrashPoint::kAfterData: return "after-data";
+    case CrashPoint::kNone: break;
+  }
+  return "none";
+}
+
+struct Op {
+  bool is_write = false;
+  u64 lba = 0;
+  u32 nblocks = 1;
+  std::vector<u64> tags;  // writes only
+};
+
+// The whole workload is materialized up front so every replay issues an
+// identical prefix, whatever boundary it is cut at.
+struct Script {
+  std::vector<Op> ops;
+  // Per LBA, every (tag, op index) ever written to it, in issue order.
+  // Version index 0 is the implicit never-written content (tag 0).
+  std::unordered_map<u64, std::vector<std::pair<u64, u64>>> history;
+
+  [[nodiscard]] long version_index(u64 lba, u64 tag) const {
+    if (tag == 0) return 0;
+    auto it = history.find(lba);
+    if (it == history.end()) return -1;
+    for (size_t i = 0; i < it->second.size(); ++i)
+      if (it->second[i].first == tag) return static_cast<long>(i) + 1;
+    return -1;
+  }
+
+  // Was a version newer than `floor_idx` written to `lba` before op
+  // `crash_op`? If so, that write superseded the durable copy in RAM and was
+  // itself lost with the cut — the paper's accepted (TWAIT-bounded) loss
+  // window, within which the durable version may regress.
+  [[nodiscard]] bool newer_write_before(u64 lba, long floor_idx,
+                                        u64 crash_op) const {
+    auto it = history.find(lba);
+    if (it == history.end()) return false;
+    for (size_t i = 0; i < it->second.size(); ++i) {
+      if (static_cast<long>(i) + 1 > floor_idx &&
+          it->second[i].second < crash_op)
+        return true;
+    }
+    return false;
+  }
+};
+
+Script make_script(const CrashSweepConfig& cfg) {
+  Script sc;
+  common::Xoshiro256 rng(cfg.seed);
+  const u64 ws = std::max<u64>(cfg.working_set_blocks, 8);
+  const auto write_permille = static_cast<u64>(cfg.write_fraction * 1000.0);
+  u64 version = 0;
+  for (u64 i = 0; i < cfg.ops; ++i) {
+    Op op;
+    op.is_write = rng.below(1000) < write_permille;
+    op.nblocks = 1 + static_cast<u32>(rng.below(4));
+    op.lba = rng.below(ws - op.nblocks);
+    if (op.is_write) {
+      for (u32 k = 0; k < op.nblocks; ++k) {
+        const u64 tag = blockdev::make_tag(op.lba + k, ++version);
+        op.tags.push_back(tag);
+        sc.history[op.lba + k].emplace_back(tag, i);
+      }
+    }
+    sc.ops.push_back(std::move(op));
+  }
+  return sc;
+}
+
+// A fresh device set + cache, mirroring the small test rig: MemDisks keep
+// the sweep (hundreds of replays) cheap while exercising the full SRC stack.
+struct Rig {
+  std::vector<std::unique_ptr<MemDisk>> ssds;
+  std::unique_ptr<MemDisk> primary;
+  std::unique_ptr<SrcCache> cache;
+  src::SrcConfig cfg;
+
+  explicit Rig(const src::SrcConfig& c) : cfg(c) {
+    MemDiskConfig fast;
+    fast.capacity_blocks =
+        cfg.region_start_block + cfg.region_bytes_per_ssd / kBlockSize + 64;
+    fast.op_latency = 20 * sim::kUs;
+    fast.bandwidth_mbps = 500.0;
+    fast.flush_latency = 4 * sim::kMs;
+    for (u32 i = 0; i < cfg.num_ssds; ++i)
+      ssds.push_back(std::make_unique<MemDisk>(fast));
+    MemDiskConfig slow;
+    slow.capacity_blocks = 1 * GiB / kBlockSize;
+    slow.op_latency = 5 * sim::kMs;
+    slow.bandwidth_mbps = 110.0;
+    primary = std::make_unique<MemDisk>(slow);
+    reattach();
+    cache->format(0);
+  }
+
+  // Reboot: all in-memory cache state is discarded, the media survives.
+  void reattach() {
+    std::vector<blockdev::BlockDevice*> devs;
+    for (auto& s : ssds) devs.push_back(s.get());
+    cache = std::make_unique<SrcCache>(cfg, devs, primary.get());
+  }
+};
+
+// Replays the script until done or the scheduled power cut fires. Returns
+// the number of ops issued (the crashing op counts as issued).
+u64 replay(Rig& rig, const Script& sc) {
+  sim::SimTime now = 1;
+  u64 issued = 0;
+  for (const Op& op : sc.ops) {
+    cache::AppRequest req;
+    req.now = now;
+    req.is_write = op.is_write;
+    req.lba = op.lba;
+    req.nblocks = op.nblocks;
+    if (op.is_write) req.tags = op.tags.data();
+    rig.cache->submit(req);
+    issued++;
+    if (rig.cache->crashed()) break;
+    now += 50 * sim::kUs;
+  }
+  return issued;
+}
+
+struct SnapshotEntry {
+  u64 lba;
+  bool dirty;
+  u64 tag;
+
+  bool operator==(const SnapshotEntry& o) const {
+    return lba == o.lba && dirty == o.dirty && tag == o.tag;
+  }
+};
+
+// Reads back every recovered block through the normal (checksum-verified)
+// read path. Reading only resident blocks keeps the snapshot side-effect
+// free: hits never fetch, stage or seal anything.
+std::vector<SnapshotEntry> snapshot(Rig& rig, u64 working_set,
+                                    std::vector<std::string>* violations,
+                                    const std::string& ctx) {
+  std::vector<SnapshotEntry> snap;
+  sim::SimTime now = 1;
+  for (u64 lba = 0; lba < working_set; ++lba) {
+    const auto res = rig.cache->residence(lba);
+    if (res == SrcCache::Residence::kAbsent) continue;
+    const bool dirty = res == SrcCache::Residence::kCachedDirty ||
+                       res == SrcCache::Residence::kDirtyBuffer;
+    u64 tag = 0;
+    cache::AppRequest req;
+    req.now = now;
+    req.lba = lba;
+    req.nblocks = 1;
+    req.tags_out = &tag;
+    rig.cache->submit(req);
+    now += 10 * sim::kUs;
+    snap.push_back({lba, dirty, tag});
+  }
+  if (rig.cache->extra().unrecoverable_blocks != 0) {
+    violations->push_back(ctx + ": unrecoverable blocks after recovery");
+  }
+  return snap;
+}
+
+}  // namespace
+
+CrashSweepResult run_crash_sweep(const CrashSweepConfig& cfg) {
+  CrashSweepResult res;
+  src::SrcConfig sc_cfg = cfg.src;
+  sc_cfg.verify_checksums = true;
+
+  const Script script = make_script(cfg);
+
+  // Baseline pass enumerates the power-cut boundaries: one per segment seal.
+  u64 total_seals = 0;
+  {
+    Rig rig(sc_cfg);
+    replay(rig, script);
+    total_seals = rig.cache->seals();
+  }
+  if (total_seals == 0) {
+    res.violations.push_back(
+        "workload sealed no segments; nothing to crash into");
+    return res;
+  }
+
+  u64 stride = 1;
+  if (cfg.max_boundaries > 0 && total_seals > cfg.max_boundaries)
+    stride = (total_seals + cfg.max_boundaries - 1) / cfg.max_boundaries;
+
+  FaultLedger ledger;
+  // Per LBA, the version index durably recovered at the previous boundary;
+  // monotone durability means it never decreases as the cut moves later.
+  std::map<u64, long> durable_floor;
+  u64 case_id = 0;
+
+  for (u64 b = 0; b < total_seals; b += stride) {
+    res.boundaries++;
+    std::vector<std::vector<SnapshotEntry>> snaps;
+
+    for (CrashPoint point : kPoints) {
+      const std::string ctx = "boundary " + std::to_string(b) + " " +
+                              point_name(point);
+      res.cases++;
+      ledger.record_injected(FaultKind::kPowerCut, kPrimaryDev, case_id);
+
+      Rig rig(sc_cfg);
+      rig.cache->schedule_crash(b, point);
+      const u64 crash_op = replay(rig, script);
+      if (!rig.cache->crashed()) {
+        res.violations.push_back(ctx + ": scheduled cut never fired");
+        case_id++;
+        continue;
+      }
+
+      rig.reattach();  // reboot
+      sim::SimTime done = 0;
+      const Status st = rig.cache->recover(0, &done);
+      if (!st.is_ok()) {
+        res.violations.push_back(ctx + ": recovery failed: " + st.to_string());
+        case_id++;
+        continue;
+      }
+      const Status audit = rig.cache->verify_consistency();
+      if (!audit.is_ok()) {
+        res.violations.push_back(ctx + ": post-recovery audit: " +
+                                 audit.to_string());
+      }
+
+      const u64 torn = rig.cache->extra().torn_segments_discarded;
+      res.torn_segments += torn;
+      if (torn > 0) ledger.record_detected(kPrimaryDev, case_id);
+
+      auto snap = snapshot(rig, cfg.working_set_blocks, &res.violations, ctx);
+
+      // Invariant 3: every surviving block holds a value actually written.
+      for (const SnapshotEntry& e : snap) {
+        if (script.version_index(e.lba, e.tag) < 0) {
+          res.violations.push_back(ctx + ": lba " + std::to_string(e.lba) +
+                                   " recovered a tag never written to it");
+        }
+      }
+
+      // Invariant 4: durability is monotone in the boundary index. The
+      // durable version of an LBA is what a reboot serves: the recovered
+      // cache copy, else primary storage's copy. Checked once per boundary
+      // (the cut points recover identical state per invariant 2).
+      if (point == CrashPoint::kAfterData) {
+        std::unordered_map<u64, u64> cached;
+        for (const SnapshotEntry& e : snap) cached[e.lba] = e.tag;
+        sim::SimTime now = 1;
+        for (u64 lba = 0; lba < cfg.working_set_blocks; ++lba) {
+          u64 tag = 0;
+          if (auto it = cached.find(lba); it != cached.end()) {
+            tag = it->second;
+          } else {
+            rig.primary->read(now, lba, 1, std::span<u64>(&tag, 1));
+            now += 1 * sim::kUs;
+          }
+          const long idx = script.version_index(lba, tag);
+          auto it = durable_floor.find(lba);
+          if (it != durable_floor.end() && idx >= 0 && idx < it->second &&
+              !script.newer_write_before(lba, it->second, crash_op)) {
+            res.violations.push_back(
+                ctx + ": lba " + std::to_string(lba) +
+                " regressed from version " + std::to_string(it->second) +
+                " to " + std::to_string(idx));
+          }
+          if (idx >= 0)
+            durable_floor[lba] =
+                std::max(it == durable_floor.end() ? idx : it->second, idx);
+        }
+      }
+
+      snaps.push_back(std::move(snap));
+      case_id++;
+    }
+
+    // Invariant 2: how much of the torn segment reached media must not
+    // matter — the three cut points recover bit-identical state.
+    for (size_t p = 1; p < snaps.size(); ++p) {
+      if (!(snaps[p] == snaps[0])) {
+        res.violations.push_back(
+            "boundary " + std::to_string(b) + ": " + point_name(kPoints[p]) +
+            " recovered different state than " + point_name(kPoints[0]));
+      }
+    }
+
+  }
+
+  res.injected = ledger.injected();
+  res.detected = ledger.detected();
+  res.undetected = ledger.undetected();
+  if (!ledger.reconciles())
+    res.violations.push_back("power-cut fault ledger does not reconcile");
+  if (res.injected != res.cases)
+    res.violations.push_back("ledger injected count != cases run");
+  return res;
+}
+
+}  // namespace srcache::fault

@@ -1,0 +1,93 @@
+// FaultLedger: per-fault accounting that must reconcile.
+//
+// Every injected fault opens a record; the cache reports back when a fault
+// manifests (a checksum mismatch, a media error, a failed device) and when
+// it is repaired. The four exported counters obey, structurally,
+//
+//     fault.injected == fault.detected + fault.undetected
+//     fault.repaired <= fault.detected
+//
+// so the crash/fault harnesses can assert the stack never "loses" a fault:
+// an undetected fault is one that genuinely never manifested (the block was
+// overwritten or never read again), not one the detection path dropped.
+// Records are keyed (device, lba) so double reads of the same corrupted
+// block count one detection, and repair reports that match no open fault
+// (e.g. an ordinary degraded-mode reconstruction) are ignored rather than
+// inflating the ledger.
+#pragma once
+
+#include <map>
+#include <utility>
+
+#include "common/types.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace srcache::fault {
+
+class FaultLedger {
+ public:
+  // Block-granular faults use the block's device LBA; device-scope faults
+  // (fail-stop, link degradation) use kDeviceScope.
+  static constexpr u64 kDeviceScope = ~0ull;
+
+  void record_injected(FaultKind kind, int dev, u64 lba = kDeviceScope) {
+    (void)kind;
+    auto [it, fresh] = records_.try_emplace(key(dev, lba), State::kOpen);
+    if (!fresh) {
+      // Re-injecting into the same block re-opens the record: a repaired
+      // block corrupted again must be detected again.
+      if (it->second == State::kRepaired) repaired_--;
+      if (it->second != State::kOpen) detected_--;
+      it->second = State::kOpen;
+    }
+    injected_++;
+  }
+
+  // Reported by the detection path (CRC mismatch, media error, fail-stop
+  // observation). Returns whether this matched an open injected fault.
+  bool record_detected(int dev, u64 lba = kDeviceScope) {
+    auto it = records_.find(key(dev, lba));
+    if (it == records_.end() || it->second != State::kOpen) return false;
+    it->second = State::kDetected;
+    detected_++;
+    return true;
+  }
+
+  // Reported after a successful repair (parity/mirror rebuild, refetch).
+  // A repair implies detection, so an open record counts both.
+  bool record_repaired(int dev, u64 lba = kDeviceScope) {
+    auto it = records_.find(key(dev, lba));
+    if (it == records_.end() || it->second == State::kRepaired) return false;
+    if (it->second == State::kOpen) detected_++;
+    it->second = State::kRepaired;
+    repaired_++;
+    return true;
+  }
+
+  [[nodiscard]] u64 injected() const { return injected_; }
+  [[nodiscard]] u64 detected() const { return detected_; }
+  [[nodiscard]] u64 repaired() const { return repaired_; }
+  // Faults injected but never observed by any read/scrub/recovery path.
+  [[nodiscard]] u64 undetected() const { return injected_ - detected_; }
+
+  [[nodiscard]] bool reconciles() const {
+    return injected_ == detected_ + undetected() && repaired_ <= detected_;
+  }
+
+  void reset() {
+    records_.clear();
+    injected_ = detected_ = repaired_ = 0;
+  }
+
+ private:
+  enum class State : u8 { kOpen, kDetected, kRepaired };
+
+  static std::pair<int, u64> key(int dev, u64 lba) { return {dev, lba}; }
+
+  std::map<std::pair<int, u64>, State> records_;
+  u64 injected_ = 0;
+  u64 detected_ = 0;
+  u64 repaired_ = 0;
+};
+
+}  // namespace srcache::fault

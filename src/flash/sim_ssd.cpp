@@ -69,9 +69,12 @@ IoResult SimSsd::read(SimTime now, u64 lba, u32 n, std::span<u64> tags_out) {
   const SimTime t_nand = nand_.submit_batch(t_ctrl, mapped, spec_.read_latency);
   const SimTime done = interface_.transfer(std::max(t_ctrl, t_nand),
                                            blocks_to_bytes(n));
-  content_.read(lba, n, tags_out);
   stats_.read_ops++;
   stats_.read_blocks += n;
+  // A latent sector error is reported only after the device has attempted
+  // the read (ECC retries), so timing is charged before failing.
+  if (media_.affects(lba, n)) return {done, ErrorCode::kMediaError};
+  content_.read(lba, n, tags_out);
   return {done, ErrorCode::kOk};
 }
 
@@ -88,6 +91,7 @@ IoResult SimSsd::write(SimTime now, u64 lba, u32 n, std::span<const u64> tags) {
 
   if (trace_ != nullptr && (ops.gc_reads > 0 || ops.erases > 0))
     trace_->complete("ssd.gc", trace_track_, t_iface, nand_done, ops.erases);
+  media_.on_write(lba, n);
   content_.write(lba, n, tags);
   stats_.write_ops++;
   stats_.write_blocks += n;
@@ -105,6 +109,7 @@ IoResult SimSsd::write_payload(SimTime now, u64 lba, Payload payload) {
   for (u32 i = 0; i < n; ++i) ops += ftl_.write(lba + i);
   const SimTime nand_done = charge_nand(t_iface, ops);
   const SimTime done = admit_to_buffer(t_iface, blocks_to_bytes(n), nand_done);
+  media_.on_write(lba, n);
   content_.write_payload(lba, n, std::move(payload));
   stats_.write_ops++;
   stats_.write_blocks += n;
@@ -117,6 +122,7 @@ Result<Payload> SimSsd::read_payload(SimTime now, u64 lba, SimTime* done) {
   u64 tag;
   IoResult r = read(now, lba, 1, std::span<u64>(&tag, 1));
   if (done != nullptr) *done = r.done;
+  if (!r.ok()) return Status(r.error);
   return content_.read_payload(lba);
 }
 
@@ -143,6 +149,7 @@ IoResult SimSsd::trim(SimTime now, u64 lba, u64 n) {
   if (!c.ok()) return c;
   const SimTime done = controller_.submit(now, spec_.command_overhead);
   ftl_.trim(lba, n);
+  media_.on_write(lba, n);
   content_.discard(lba, n);
   stats_.trim_ops++;
   stats_.trim_blocks += n;
@@ -189,6 +196,8 @@ void SimSsd::register_metrics(const obs::Scope& scope) {
                  [this] { return ftl_.stats().write_amplification(); });
   scope.gauge_fn("write_buffer_bytes",
                  [this] { return static_cast<double>(pending_bytes_); });
+  scope.gauge_fn("media_error_blocks",
+                 [this] { return static_cast<double>(media_.size()); });
 }
 
 void SimSsd::precondition() {

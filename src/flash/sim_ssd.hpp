@@ -19,6 +19,7 @@
 
 #include "block/block_device.hpp"
 #include "block/content_store.hpp"
+#include "block/media_errors.hpp"
 #include "flash/ftl.hpp"
 #include "flash/ssd_specs.hpp"
 #include "obs/metrics.hpp"
@@ -56,6 +57,9 @@ class SimSsd final : public BlockDevice {
   void heal() override { failed_ = false; }
   [[nodiscard]] bool failed() const override { return failed_; }
   void corrupt(u64 lba) override { content_.corrupt(lba); }
+  void inject_media_errors(u64 lba, u64 n) override { media_.add(lba, n); }
+  void clear_media_errors() override { media_.clear(); }
+  [[nodiscard]] u64 media_error_blocks() const { return media_.size(); }
 
   // Fills the whole exported LBA space with dummy data, then resets timing
   // and statistics — the paper's preconditioning step (§5.1) that brings the
@@ -87,6 +91,7 @@ class SimSsd final : public BlockDevice {
   u64 exported_blocks_;
   Ftl ftl_;
   blockdev::ContentStore content_;
+  blockdev::MediaErrorSet media_;
 
   sim::MultiServer controller_;
   sim::BandwidthPipe interface_;

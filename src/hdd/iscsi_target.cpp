@@ -40,8 +40,17 @@ void IscsiTarget::register_metrics(const obs::Scope& scope) {
 }
 
 SimTime IscsiTarget::link_transfer(SimTime now, u64 bytes) {
-  return link_.submit(now, sim::transfer_time(bytes, cfg_.link_mbps),
-                      background_);
+  SimTime service = sim::transfer_time(bytes, cfg_.link_mbps);
+  if (degraded(now))
+    service = static_cast<SimTime>(static_cast<double>(service) *
+                                   degrade_factor_);
+  return link_.submit(now, service, background_);
+}
+
+SimTime IscsiTarget::half_rtt(SimTime now) const {
+  const SimTime half = cfg_.rtt / 2;
+  if (!degraded(now)) return half;
+  return static_cast<SimTime>(static_cast<double>(half) * degrade_factor_);
 }
 
 bool IscsiTarget::cache_lookup(u64 lba, u64* tag) const {
@@ -98,18 +107,18 @@ blockdev::IoResult IscsiTarget::read(SimTime now, u64 lba, u32 n,
       (void)cache_lookup(lba + i, &tag);  // resident: checked just above
       if (!tags_out.empty()) tags_out[i] = tag;
     }
-    const SimTime done = link_transfer(now + cfg_.rtt / 2, blocks_to_bytes(n)) +
-                         cfg_.rtt / 2;
+    const SimTime done = link_transfer(now + half_rtt(now), blocks_to_bytes(n)) +
+                         half_rtt(now);
     if (trace_ != nullptr)
       trace_->complete("hdd.read_ram", trace_track_, now, done, n);
     return {done, ErrorCode::kOk};
   }
   ram_misses_ += n;
-  blockdev::IoResult r = volume_->read(now + cfg_.rtt / 2, lba, n, tags_out);
+  blockdev::IoResult r = volume_->read(now + half_rtt(now), lba, n, tags_out);
   if (!r.ok()) return r;
   for (u32 i = 0; i < n; ++i)
     cache_insert(lba + i, tags_out.empty() ? 0 : tags_out[i]);
-  const SimTime done = link_transfer(r.done, blocks_to_bytes(n)) + cfg_.rtt / 2;
+  const SimTime done = link_transfer(r.done, blocks_to_bytes(n)) + half_rtt(now);
   if (trace_ != nullptr)
     trace_->complete("hdd.read_disk", trace_track_, now, done, n);
   return {done, ErrorCode::kOk};
@@ -120,7 +129,7 @@ blockdev::IoResult IscsiTarget::write(SimTime now, u64 lba, u32 n,
   if (failed_) return {now, ErrorCode::kDeviceFailed};
   stats_.write_ops++;
   stats_.write_blocks += n;
-  const SimTime sent = link_transfer(now, blocks_to_bytes(n)) + cfg_.rtt / 2;
+  const SimTime sent = link_transfer(now, blocks_to_bytes(n)) + half_rtt(now);
   for (u32 i = 0; i < n; ++i)
     cache_insert(lba + i, tags.empty() ? 0 : tags[i]);
   // Server-side writeback: the volume write drains in the background; the
@@ -131,28 +140,28 @@ blockdev::IoResult IscsiTarget::write(SimTime now, u64 lba, u32 n,
   const SimTime drained = r.ok() ? r.done : sent;
   const SimTime admitted = absorb_write(sent, drained, blocks_to_bytes(n));
   if (trace_ != nullptr)
-    trace_->complete("hdd.write", trace_track_, now, admitted + cfg_.rtt / 2, n);
-  return {admitted + cfg_.rtt / 2, ErrorCode::kOk};
+    trace_->complete("hdd.write", trace_track_, now, admitted + half_rtt(now), n);
+  return {admitted + half_rtt(now), ErrorCode::kOk};
 }
 
 blockdev::IoResult IscsiTarget::write_payload(SimTime now, u64 lba,
                                               blockdev::Payload payload) {
   if (failed_) return {now, ErrorCode::kDeviceFailed};
   const u64 bytes = payload ? payload->size() : 1;
-  const SimTime sent = link_transfer(now, bytes) + cfg_.rtt / 2;
+  const SimTime sent = link_transfer(now, bytes) + half_rtt(now);
   for (u64 i = 0; i < bytes_to_blocks(bytes); ++i) gen_cur_.erase(lba + i);
   blockdev::IoResult r = volume_->write_payload(sent, lba, std::move(payload));
   if (!r.ok()) return r;
   stats_.write_ops++;
   stats_.write_blocks += bytes_to_blocks(bytes);
-  return {r.done + cfg_.rtt / 2, ErrorCode::kOk};
+  return {r.done + half_rtt(now), ErrorCode::kOk};
 }
 
 Result<blockdev::Payload> IscsiTarget::read_payload(SimTime now, u64 lba,
                                                     SimTime* done) {
   if (failed_) return Status(ErrorCode::kDeviceFailed);
-  auto r = volume_->read_payload(now + cfg_.rtt / 2, lba, done);
-  if (done != nullptr) *done += cfg_.rtt / 2;
+  auto r = volume_->read_payload(now + half_rtt(now), lba, done);
+  if (done != nullptr) *done += half_rtt(now);
   return r;
 }
 
@@ -163,12 +172,12 @@ blockdev::IoResult IscsiTarget::flush(SimTime now) {
   if (!pending_.empty()) drained = std::max(drained, pending_.back().first);
   pending_.clear();
   pending_bytes_ = 0;
-  blockdev::IoResult r = volume_->flush(drained + cfg_.rtt / 2);
+  blockdev::IoResult r = volume_->flush(drained + half_rtt(now));
   if (!r.ok()) return r;
   stats_.flushes++;
   if (trace_ != nullptr)
-    trace_->complete("hdd.flush", trace_track_, now, r.done + cfg_.rtt / 2);
-  return {r.done + cfg_.rtt / 2, ErrorCode::kOk};
+    trace_->complete("hdd.flush", trace_track_, now, r.done + half_rtt(now));
+  return {r.done + half_rtt(now), ErrorCode::kOk};
 }
 
 blockdev::IoResult IscsiTarget::trim(SimTime now, u64 lba, u64 n) {
@@ -179,7 +188,7 @@ blockdev::IoResult IscsiTarget::trim(SimTime now, u64 lba, u64 n) {
   }
   stats_.trim_ops++;
   stats_.trim_blocks += n;
-  return volume_->trim(now + cfg_.rtt, lba, n);
+  return volume_->trim(now + 2 * half_rtt(now), lba, n);
 }
 
 }  // namespace srcache::hdd

@@ -64,6 +64,16 @@ class IscsiTarget final : public blockdev::BlockDevice {
   }
   void corrupt(u64 lba) override { volume_->corrupt(lba); }
 
+  // Link degradation (iSCSI path congestion / flaky interconnect): wire
+  // transfers and round trips are stretched by `factor` until `until`.
+  void degrade_service(double factor, SimTime until) override {
+    degrade_factor_ = factor;
+    degrade_until_ = until;
+  }
+  [[nodiscard]] bool degraded(SimTime now) const {
+    return now < degrade_until_ && degrade_factor_ > 1.0;
+  }
+
   [[nodiscard]] raid::RaidDevice& volume() { return *volume_; }
   // Member-disk access for fault-injection tests.
   [[nodiscard]] SimHdd& disk(size_t i) { return *disks_.at(i); }
@@ -86,6 +96,8 @@ class IscsiTarget final : public blockdev::BlockDevice {
 
  private:
   SimTime link_transfer(SimTime now, u64 bytes);
+  // Half a network round trip, stretched while the link is degraded.
+  [[nodiscard]] SimTime half_rtt(SimTime now) const;
   // Two-generation LRU approximation over 4 KiB blocks (lba -> tag).
   [[nodiscard]] bool cache_lookup(u64 lba, u64* tag) const;
   void cache_insert(u64 lba, u64 tag);
@@ -99,6 +111,8 @@ class IscsiTarget final : public blockdev::BlockDevice {
   sim::PriorityTimeline link_;
   bool background_ = false;
   bool failed_ = false;
+  double degrade_factor_ = 1.0;
+  SimTime degrade_until_ = 0;
 
   std::unordered_map<u64, u64> gen_cur_, gen_prev_;
   u64 gen_capacity_blocks_;

@@ -42,15 +42,17 @@ IoResult SimHdd::access(SimTime now, u64 lba, u32 n) {
 IoResult SimHdd::read(SimTime now, u64 lba, u32 n, std::span<u64> tags_out) {
   IoResult r = access(now, lba, n);
   if (!r.ok()) return r;
-  content_.read(lba, n, tags_out);
   stats_.read_ops++;
   stats_.read_blocks += n;
+  if (media_.affects(lba, n)) return {r.done, ErrorCode::kMediaError};
+  content_.read(lba, n, tags_out);
   return r;
 }
 
 IoResult SimHdd::write(SimTime now, u64 lba, u32 n, std::span<const u64> tags) {
   IoResult r = access(now, lba, n);
   if (!r.ok()) return r;
+  media_.on_write(lba, n);
   content_.write(lba, n, tags);
   stats_.write_ops++;
   stats_.write_blocks += n;
@@ -62,6 +64,7 @@ IoResult SimHdd::write_payload(SimTime now, u64 lba, Payload payload) {
       1, static_cast<u32>(bytes_to_blocks(payload ? payload->size() : 1)));
   IoResult r = access(now, lba, n);
   if (!r.ok()) return r;
+  media_.on_write(lba, n);
   content_.write_payload(lba, n, std::move(payload));
   stats_.write_ops++;
   stats_.write_blocks += n;
@@ -74,6 +77,7 @@ Result<Payload> SimHdd::read_payload(SimTime now, u64 lba, SimTime* done) {
   if (done != nullptr) *done = r.done;
   stats_.read_ops++;
   stats_.read_blocks++;
+  if (media_.affects(lba, 1)) return Status(ErrorCode::kMediaError);
   return content_.read_payload(lba);
 }
 
@@ -86,6 +90,7 @@ IoResult SimHdd::flush(SimTime now) {
 
 IoResult SimHdd::trim(SimTime now, u64 lba, u64 n) {
   if (failed_) return {now, ErrorCode::kDeviceFailed};
+  media_.on_write(lba, n);
   content_.discard(lba, n);
   stats_.trim_ops++;
   stats_.trim_blocks += n;

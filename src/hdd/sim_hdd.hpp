@@ -5,6 +5,7 @@
 
 #include "block/block_device.hpp"
 #include "block/content_store.hpp"
+#include "block/media_errors.hpp"
 #include "sim/timeline.hpp"
 
 namespace srcache::hdd {
@@ -43,6 +44,9 @@ class SimHdd final : public BlockDevice {
   void heal() override { failed_ = false; }
   [[nodiscard]] bool failed() const override { return failed_; }
   void corrupt(u64 lba) override { content_.corrupt(lba); }
+  void inject_media_errors(u64 lba, u64 n) override { media_.add(lba, n); }
+  void clear_media_errors() override { media_.clear(); }
+  [[nodiscard]] u64 media_error_blocks() const { return media_.size(); }
   // Background ops (destage sweeps) yield to foreground ones on the arm.
   void set_background(bool background) override { background_ = background; }
 
@@ -56,6 +60,7 @@ class SimHdd final : public BlockDevice {
   HddConfig cfg_;
   u64 blocks_;
   blockdev::ContentStore content_;
+  blockdev::MediaErrorSet media_;
   sim::PriorityTimeline arm_;
   u64 head_pos_ = 0;  // LBA after the last access (sequentiality detection)
   bool background_ = false;

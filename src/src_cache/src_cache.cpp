@@ -153,6 +153,7 @@ SimTime SrcCache::format(SimTime now) {
 }
 
 SimTime SrcCache::flush_all_ssds(SimTime now) {
+  if (crashed_) return now;  // power is off: nothing reaches the devices
   SimTime done = now;
   for (auto* d : ssds_) {
     if (d->failed()) continue;
@@ -177,11 +178,19 @@ void SrcCache::register_metrics(const obs::Scope& scope) {
   scope.counter_fn("flushes", [this] { return extra_.flushes_issued; });
   scope.counter_fn("checksum_errors",
                    [this] { return extra_.checksum_errors; });
+  scope.counter_fn("media_errors", [this] { return extra_.media_errors; });
   scope.counter_fn("parity_repairs", [this] { return extra_.parity_repairs; });
   scope.counter_fn("refetch_repairs",
                    [this] { return extra_.refetch_repairs; });
   scope.counter_fn("unrecoverable_blocks",
                    [this] { return extra_.unrecoverable_blocks; });
+  scope.counter_fn("lost_clean_blocks",
+                   [this] { return extra_.lost_clean_blocks; });
+  scope.counter_fn("lost_dirty_blocks",
+                   [this] { return extra_.lost_dirty_blocks; });
+  scope.counter_fn("torn_segments_discarded",
+                   [this] { return extra_.torn_segments_discarded; });
+  scope.counter_fn("segment_seals", [this] { return seal_count_; });
   scope.counter_fn("fetch_blocks", [this] { return stats_.fetch_blocks; });
   scope.counter_fn("destage_blocks", [this] { return stats_.destage_blocks; });
   scope.counter_fn("gc_copy_blocks", [this] { return stats_.gc_copy_blocks; });
@@ -234,6 +243,7 @@ void SrcCache::invalidate_slot(u64 lba, const MapEntry& e) {
 // --- app entry points -------------------------------------------------------
 
 SimTime SrcCache::submit(const cache::AppRequest& req) {
+  if (crashed_) return req.now;  // power is off
   maybe_timeout_partial(req.now);
   return req.is_write ? do_write(req) : do_read(req);
 }
@@ -366,10 +376,20 @@ SimTime SrcCache::seal_buffer(SimTime now, bool dirty_type, bool force_partial) 
 }
 
 SimTime SrcCache::write_one_segment(SimTime now, bool dirty_type, u64 count) {
+  if (crashed_) return now;  // power is off
   SegBuffer& buf = dirty_type ? dirty_buf_ : clean_buf_;
   const u64 capacity = buffer_capacity(dirty_type);
   count = std::min<u64>({count, capacity, buf.lbas.size()});
   if (count == 0) return now;
+
+  // Scheduled power cut (crash-consistency harness): the Nth seal tears at
+  // the chosen point, and from then on nothing reaches the devices.
+  CrashPoint point = crash_point_;
+  if (crash_scheduled_ && seal_count_ == crash_at_seal_) {
+    point = crash_at_point_;
+    crashed_ = true;
+  }
+  seal_count_++;
 
   // Take the front `count` entries by value; re-index what remains so GC
   // appends (during SG allocation) see a consistent buffer.
@@ -472,13 +492,14 @@ SimTime SrcCache::write_one_segment(SimTime now, bool dirty_type, u64 count) {
   for (size_t d = 0; d < ssds_.size(); ++d) {
     BlockDevice* dev = ssds_[d];
     if (dev->failed()) continue;
+    if (point == CrashPoint::kBeforeSeg) break;
     auto rms = dev->write_payload(issue, base, ms_payload);
     if (rms.ok()) done = std::max(done, rms.done);
-    if (crash_point_ == CrashPoint::kAfterMs) continue;
+    if (point == CrashPoint::kAfterMs) continue;
     auto rdata = dev->write(issue, base + 1, static_cast<u32>(rows),
                             std::span<const u64>(images[d].data(), rows));
     if (rdata.ok()) done = std::max(done, rdata.done);
-    if (crash_point_ == CrashPoint::kAfterData) continue;
+    if (point == CrashPoint::kAfterData) continue;
     auto rme = dev->write_payload(issue, base + 1 + rows, me_payload);
     if (rme.ok()) done = std::max(done, rme.done);
   }
@@ -636,8 +657,17 @@ Result<u64> SrcCache::read_slot(SimTime now, u32 sg, u32 seg, u32 slot,
       if (!cfg_.verify_checksums || common::crc32c_of(tag) == want_crc)
         return tag;
       extra_.checksum_errors++;
+      if (fault_ledger_ != nullptr)
+        fault_ledger_->record_detected(static_cast<int>(a.dev), a.block);
       if (trace_ != nullptr)
         trace_->instant("src.checksum_error", trace_track_, now, lba);
+    } else if (r.error == ErrorCode::kMediaError) {
+      if (done != nullptr) *done = std::max(*done, r.done);
+      extra_.media_errors++;
+      if (fault_ledger_ != nullptr)
+        fault_ledger_->record_detected(static_cast<int>(a.dev), a.block);
+      if (trace_ != nullptr)
+        trace_->instant("src.media_error", trace_track_, now, lba);
     }
   }
   // Mirror copy (RAID-1).
@@ -648,9 +678,23 @@ Result<u64> SrcCache::read_slot(SimTime now, u32 sg, u32 seg, u32 slot,
         (!cfg_.verify_checksums || common::crc32c_of(tag) == want_crc)) {
       if (done != nullptr) *done = std::max(*done, r.done);
       extra_.parity_repairs++;
-      if (!ssds_[a.dev]->failed())
+      if (!ssds_[a.dev]->failed()) {
+        // The write-back overwrites the bad copy (remap-on-write also clears
+        // a latent sector error), so the fault is genuinely gone.
         ssds_[a.dev]->write(now, a.block, 1, std::span<const u64>(&tag, 1));
+        if (fault_ledger_ != nullptr)
+          fault_ledger_->record_repaired(static_cast<int>(a.dev), a.block);
+      }
       return tag;
+    }
+    if (r.ok()) {
+      extra_.checksum_errors++;
+      if (fault_ledger_ != nullptr)
+        fault_ledger_->record_detected(static_cast<int>(a.mirror_dev), a.block);
+    } else if (r.error == ErrorCode::kMediaError) {
+      extra_.media_errors++;
+      if (fault_ledger_ != nullptr)
+        fault_ledger_->record_detected(static_cast<int>(a.mirror_dev), a.block);
     }
   }
   // Parity reconstruction across the stripe row.
@@ -664,8 +708,11 @@ Result<u64> SrcCache::read_slot(SimTime now, u32 sg, u32 seg, u32 slot,
         extra_.parity_repairs++;
         if (trace_ != nullptr)
           trace_->instant("src.parity_repair", trace_track_, now, lba);
-        if (!ssds_[a.dev]->failed())
+        if (!ssds_[a.dev]->failed()) {
           ssds_[a.dev]->write(now, a.block, 1, std::span<const u64>(&tag, 1));
+          if (fault_ledger_ != nullptr)
+            fault_ledger_->record_repaired(static_cast<int>(a.dev), a.block);
+        }
         return tag;
       }
     }
@@ -677,6 +724,14 @@ Result<u64> SrcCache::read_slot(SimTime now, u32 sg, u32 seg, u32 slot,
     if (r.ok()) {
       if (done != nullptr) *done = std::max(*done, r.done);
       extra_.refetch_repairs++;
+      if (!ssds_[a.dev]->failed()) {
+        // Rewrite the slot so the repair sticks: remap-on-write clears a
+        // latent sector error and the good tag replaces the corrupt one
+        // (without this every later read re-pays the refetch).
+        ssds_[a.dev]->write(now, a.block, 1, std::span<const u64>(&tag, 1));
+        if (fault_ledger_ != nullptr)
+          fault_ledger_->record_repaired(static_cast<int>(a.dev), a.block);
+      }
       if (trace_ != nullptr)
         trace_->instant("src.refetch_repair", trace_track_, now, lba);
       return tag;
@@ -703,7 +758,14 @@ Result<u64> SrcCache::reconstruct_from_stripe(SimTime now, u32 sg, u32 seg,
       return Status(ErrorCode::kDeviceFailed, "double failure in stripe");
     u64 tag = 0;
     auto r = ssds_[d]->read(now, block, 1, std::span<u64>(&tag, 1));
-    if (!r.ok()) return Status(r.error);
+    if (!r.ok()) {
+      if (r.error == ErrorCode::kMediaError) {
+        extra_.media_errors++;
+        if (fault_ledger_ != nullptr)
+          fault_ledger_->record_detected(static_cast<int>(d), block);
+      }
+      return Status(r.error);
+    }
     acc ^= tag;
     t = std::max(t, r.done);
   }

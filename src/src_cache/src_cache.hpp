@@ -21,6 +21,7 @@
 
 #include "block/block_device.hpp"
 #include "cache/cache_device.hpp"
+#include "fault/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "src_cache/segment_meta.hpp"
@@ -44,11 +45,13 @@ class SrcCache final : public cache::CacheDevice {
     u64 s2s_reclaims = 0;
     u64 flushes_issued = 0;      // flush commands SRC sent to the SSDs
     u64 checksum_errors = 0;
+    u64 media_errors = 0;        // device-reported latent sector errors
     u64 parity_repairs = 0;
     u64 refetch_repairs = 0;
     u64 unrecoverable_blocks = 0;
     u64 lost_clean_blocks = 0;   // dropped on SSD failure (NPC mode)
     u64 lost_dirty_blocks = 0;   // data loss (RAID-0 only)
+    u64 torn_segments_discarded = 0;  // MS/ME generation mismatch in recover
   };
 
   enum class Residence {
@@ -61,7 +64,8 @@ class SrcCache final : public cache::CacheDevice {
 
   // Testing hook: abort a segment write at a chosen point to model a torn
   // write / power loss (recovery must then discard the segment).
-  enum class CrashPoint { kNone, kAfterMs, kAfterData };
+  // kBeforeSeg cuts power before anything of the segment reaches media.
+  enum class CrashPoint { kNone, kAfterMs, kAfterData, kBeforeSeg };
 
   // `ssds` are borrowed and must each expose at least
   // region_start_block + region blocks. `primary` is the backing store.
@@ -107,6 +111,25 @@ class SrcCache final : public cache::CacheDevice {
   [[nodiscard]] Status verify_consistency() const;
 
   void set_crash_point(CrashPoint p) { crash_point_ = p; }
+
+  // Crash-consistency harness hooks: power-cut exactly at the `nth_seal`-th
+  // segment write (0-indexed), at the chosen point within the stripe. Once
+  // the cut fires, no further I/O of any kind reaches the devices; the
+  // instance is then only good for inspecting what made it to media.
+  void schedule_crash(u64 nth_seal, CrashPoint p) {
+    crash_scheduled_ = true;
+    crash_at_seal_ = nth_seal;
+    crash_at_point_ = p;
+  }
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  // Segment writes issued so far; a full run's count enumerates the
+  // power-cut boundaries the harness sweeps.
+  [[nodiscard]] u64 seals() const { return seal_count_; }
+
+  // Optional fault accounting: detection (CRC mismatch, media error) and
+  // repair events on the read path are reported to `ledger`, keyed by
+  // (ssd index, device block), matching FaultInjector's injection records.
+  void set_fault_ledger(fault::FaultLedger* ledger) { fault_ledger_ = ledger; }
 
   // Registers pull-style observability metrics (segment/reclaim/repair
   // counters, utilization, free-SG gauge) under `scope`, e.g. "src". The
@@ -241,6 +264,12 @@ class SrcCache final : public cache::CacheDevice {
   SimTime last_dirty_stage_ = 0;
   bool in_gc_ = false;
   CrashPoint crash_point_ = CrashPoint::kNone;
+  bool crash_scheduled_ = false;
+  u64 crash_at_seal_ = 0;
+  CrashPoint crash_at_point_ = CrashPoint::kNone;
+  bool crashed_ = false;
+  u64 seal_count_ = 0;
+  fault::FaultLedger* fault_ledger_ = nullptr;
 
   cache::CacheStats stats_;
   ExtraStats extra_;

@@ -76,9 +76,16 @@ Status SrcCache::recover(SimTime now, SimTime* done_out) {
           me = SegmentMeta::deserialize(pme.value());
         if (ms.has_value() && me.has_value()) break;
       }
-      if (!ms.has_value() || !me.has_value()) continue;
-      if (ms->generation != me->generation || ms->sg != s || ms->seg != g)
+      if (!ms.has_value() || !me.has_value()) {
+        // One present without the other is a torn write; neither present is
+        // simply a never-written chunk.
+        if (ms.has_value() != me.has_value()) extra_.torn_segments_discarded++;
+        continue;
+      }
+      if (ms->generation != me->generation || ms->sg != s || ms->seg != g) {
+        extra_.torn_segments_discarded++;
         continue;  // torn segment: discarded, space reused
+      }
 
       SegmentInfo& si = sg.segs[g];
       si.type = ms->dirty ? SegType::kDirty : SegType::kClean;

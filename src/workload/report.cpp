@@ -70,6 +70,21 @@ std::string run_json(const std::string& bench, const std::string& name,
   w.kv("trim_blocks", r.ssd.trim_blocks);
   w.end_object();
 
+  if (r.fault.active) {
+    w.key("fault").begin_object();
+    w.kv("events_fired", r.fault.events_fired);
+    w.kv("injected", r.fault.injected);
+    w.kv("detected", r.fault.detected);
+    w.kv("repaired", r.fault.repaired);
+    w.kv("undetected", r.fault.undetected);
+    w.kv("first_fault_s", r.fault.first_fault_s);
+    w.kv("healthy_mbps", r.fault.healthy_mbps);
+    w.kv("degraded_mbps", r.fault.degraded_mbps);
+    latency_summary(w, "degraded_read", r.fault.degraded_read_lat);
+    latency_summary(w, "degraded_write", r.fault.degraded_write_lat);
+    w.end_object();
+  }
+
   w.key("metrics").raw(r.metrics.to_json());
   if (!r.timeseries.empty()) w.key("timeseries").raw(r.timeseries.to_json());
   w.end_object();

@@ -23,8 +23,14 @@
 //
 // v2 is a superset of v1: every v1 field is unchanged; v2 adds
 // "latency_ns.clamped" and, for runs sampled with REPRO_TIMESERIES_MS, the
-// per-interval "timeseries" object (obs/timeseries.hpp). Consumers keyed on
-// the v1 fields keep working against either version.
+// per-interval "timeseries" object (obs/timeseries.hpp). Runs driven with a
+// fault plan (RunConfig::fault) additionally carry a "fault" object — the
+// reconciling ledger counters plus the healthy/degraded window split:
+//   "fault": { "events_fired", "injected", "detected", "repaired",
+//              "undetected", "first_fault_s", "healthy_mbps",
+//              "degraded_mbps", "degraded_read": {...},
+//              "degraded_write": {...} }
+// Consumers keyed on the v1 fields keep working against either version.
 #pragma once
 
 #include <string>

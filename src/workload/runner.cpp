@@ -31,6 +31,11 @@ RunResult Runner::run(const std::vector<Generator*>& gens,
 
   RunResult res;
   obs::TimeSeriesSampler sampler(cfg.registry, cfg.timeseries_interval);
+  // Degraded-window accounting: everything issued at or after the first
+  // fired fault event is recorded separately so the failure-handling cost
+  // (§4.3) is visible next to the healthy baseline.
+  obs::LatencyRecorder degraded_lat;
+  u64 degraded_bytes = 0;
   std::vector<u64> tagbuf;
   // `measure` gates latency/trace recording so the warm-up phase stays out
   // of the histograms. Classification reads the cache's own hit counters
@@ -60,6 +65,10 @@ RunResult Runner::run(const std::vector<Generator*>& gens,
                                          : cache_->stats().read_miss_blocks;
       const bool hit = miss_after == miss_before;
       res.latency.record(obs::classify(op.is_write, hit), done - now);
+      if (cfg.fault != nullptr && cfg.fault->events_fired() > 0) {
+        degraded_lat.record(obs::classify(op.is_write, hit), done - now);
+        degraded_bytes += blocks_to_bytes(op.nblocks);
+      }
       sampler.record(now, op.is_write, hit, op.nblocks,
                      blocks_to_bytes(op.nblocks));
       if (cfg.trace != nullptr) {
@@ -94,12 +103,16 @@ RunResult Runner::run(const std::vector<Generator*>& gens,
   obs::MetricsSnapshot metrics_before;
   if (cfg.registry != nullptr) metrics_before = cfg.registry->snapshot();
   sampler.start(start);
+  // Fault-plan triggers are relative to the measurement window ("2s in",
+  // "ops:1000"), so the injector is anchored and advanced only inside it.
+  if (cfg.fault != nullptr) cfg.fault->set_epoch(start);
 
   while (!heap.empty()) {
     const auto [now, g] = heap.top();
     heap.pop();
     if (now >= start + cfg.duration) break;
     if (cfg.max_ops != 0 && res.ops >= cfg.max_ops) break;
+    if (cfg.fault != nullptr) cfg.fault->advance(now, res.ops);
     res.bytes += issue(now, g, /*measure=*/true);
     res.ops++;
   }
@@ -159,6 +172,33 @@ RunResult Runner::run(const std::vector<Generator*>& gens,
   // bugs show up in REPRO_JSON instead of being swallowed.
   res.metrics.counters["obs.latency.clamped"] = res.latency_clamped;
   res.timeseries = sampler.take();
+
+  if (cfg.fault != nullptr) {
+    FaultOutcome& fo = res.fault;
+    fo.active = true;
+    fo.events_fired = cfg.fault->events_fired();
+    const fault::FaultLedger& led = cfg.fault->ledger();
+    fo.injected = led.injected();
+    fo.detected = led.detected();
+    fo.repaired = led.repaired();
+    fo.undetected = led.undetected();
+    const sim::SimTime first = cfg.fault->first_fire_time();
+    if (first >= 0) {
+      fo.first_fault_s = sim::to_seconds(first - start);
+      const double healthy_s = sim::to_seconds(first - start);
+      const double degraded_s = res.seconds - healthy_s;
+      const u64 healthy_bytes = res.bytes - degraded_bytes;
+      if (healthy_s > 0)
+        fo.healthy_mbps = static_cast<double>(healthy_bytes) / 1e6 / healthy_s;
+      if (degraded_s > 0)
+        fo.degraded_mbps =
+            static_cast<double>(degraded_bytes) / 1e6 / degraded_s;
+      fo.degraded_read_lat = obs::LatencySummary::of(degraded_lat.reads());
+      fo.degraded_write_lat = obs::LatencySummary::of(degraded_lat.writes());
+    } else {
+      fo.healthy_mbps = res.throughput_mbps;
+    }
+  }
   return res;
 }
 

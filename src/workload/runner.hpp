@@ -10,6 +10,7 @@
 
 #include "block/block_device.hpp"
 #include "cache/cache_device.hpp"
+#include "fault/fault_injector.hpp"
 #include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
@@ -40,6 +41,36 @@ struct RunConfig {
   // resource utilization, ...) land in RunResult.timeseries; resource series
   // need `registry` to be set as well.
   sim::SimTime timeseries_interval = 0;
+  // Optional: a scripted fault injector (fault/fault_plan.hpp). The runner
+  // anchors its triggers at the measurement-window start and advances it
+  // before every measured request; RunResult.fault reports the ledger
+  // counters and the healthy-vs-degraded split of the window.
+  fault::FaultInjector* fault = nullptr;
+};
+
+// Fault-scenario outcome of a run (RunConfig::fault). The window is split at
+// the first fired event: before it the array is healthy, from it on the run
+// is the paper's degraded window (§4.3) — failure-handling cost shows up as
+// the throughput drop and the degraded-side latency tail.
+struct FaultOutcome {
+  bool active = false;      // a FaultInjector was attached
+  u64 events_fired = 0;
+  // FaultLedger counters at the end of the window; the ledger invariant
+  // injected == detected + undetected must hold (see fault/ledger.hpp).
+  u64 injected = 0;
+  u64 detected = 0;
+  u64 repaired = 0;
+  u64 undetected = 0;
+  // Seconds into the measurement window of the first fired event; < 0 when
+  // no event fired (plan empty or triggers past the window).
+  double first_fault_s = -1.0;
+  // Throughput over the healthy prefix / the degraded remainder. With no
+  // fired event the whole window is healthy.
+  double healthy_mbps = 0.0;
+  double degraded_mbps = 0.0;
+  // Request latency over the degraded part of the window only.
+  obs::LatencySummary degraded_read_lat;
+  obs::LatencySummary degraded_write_lat;
 };
 
 struct RunResult {
@@ -76,6 +107,9 @@ struct RunResult {
   // Fixed-interval samples of the measurement window (empty unless
   // RunConfig::timeseries_interval > 0).
   obs::TimeSeries timeseries;
+
+  // Fault-scenario outcome (inactive unless RunConfig::fault was set).
+  FaultOutcome fault;
 };
 
 class Runner {
