@@ -95,6 +95,52 @@ inline sim::SimTime repro_timeseries_interval() {
   return static_cast<sim::SimTime>(ms * 1e6);
 }
 
+// Multi-tenant knobs (bench_multitenant): adaptive-partition epoch length
+// and the SHARDS spatial sampling rate of the per-tenant MRC profilers.
+inline sim::SimTime repro_epoch() {
+  static const double ms = env_knob("REPRO_EPOCH_MS", 1000.0, 1.0, 1e9);
+  return static_cast<sim::SimTime>(ms * 1e6);
+}
+
+inline double repro_shards_rate() {
+  static const double r = env_knob("REPRO_SHARDS_RATE", 0.1, 1e-4, 1.0);
+  return r;
+}
+
+// Knob-interaction validation, run once from print_header() before any
+// experiment starts. Each individual knob already fails fast on a malformed
+// value (env_knob); this catches combinations that would silently produce a
+// useless run — better to refuse than to burn minutes and emit nothing.
+inline void validate_repro_knobs() {
+  const char* json = repro_json_path();
+  const char* trace = repro_trace_path();
+  if (repro_timeseries_interval() > 0 && json == nullptr) {
+    std::fprintf(stderr,
+                 "REPRO_TIMESERIES_MS is set but REPRO_JSON is not: the "
+                 "sampled series are only emitted into the JSON document, so "
+                 "this run would sample and then discard everything. Set "
+                 "REPRO_JSON=<path> or unset REPRO_TIMESERIES_MS.\n");
+    std::exit(2);
+  }
+  if (json != nullptr && trace != nullptr &&
+      std::string(json) == std::string(trace)) {
+    std::fprintf(stderr,
+                 "REPRO_JSON and REPRO_TRACE point at the same file (%s); "
+                 "the two outputs would overwrite each other.\n",
+                 json);
+    std::exit(2);
+  }
+  if (repro_timeseries_interval() > run_duration()) {
+    std::fprintf(stderr,
+                 "REPRO_TIMESERIES_MS (%.0f ms) exceeds the measurement "
+                 "window REPRO_SECONDS (%.3g s): not a single interval would "
+                 "close. Lower the interval or lengthen the run.\n",
+                 static_cast<double>(repro_timeseries_interval()) / 1e6,
+                 sim::to_seconds(run_duration()));
+    std::exit(2);
+  }
+}
+
 inline workload::ReproReport& json_report() {
   static workload::ReproReport report(scale(),
                                       sim::to_seconds(run_duration()));
@@ -352,6 +398,7 @@ inline workload::RunResult run_group(SrcRig& rig, workload::TraceGroup group,
 }
 
 inline void print_header(const char* experiment, const char* paper_ref) {
+  validate_repro_knobs();
   std::printf("=== %s ===\n", experiment);
   std::printf("reproduces: %s\n", paper_ref);
   std::printf("scale=%.3g (REPRO_SCALE), duration=%.3gs virtual (REPRO_SECONDS)\n\n",

@@ -1,0 +1,104 @@
+// Online miss-ratio-curve profiling via a sampled ghost LRU (ECI-Cache /
+// SHARDS lineage; see PAPERS.md).
+//
+// A GhostCache tracks *metadata only* for a spatially-sampled subset of one
+// tenant's block accesses and answers: "what would this tenant's miss ratio
+// be if it owned s blocks of cache?" for a fixed ladder of candidate sizes.
+// Three ideas keep it cheap enough to run inline with the workload:
+//
+//  * SHARDS spatial sampling: a block participates iff
+//    hash(lba) mod P < R * P. Every sampled block stands for 1/R blocks, so
+//    candidate sizes shrink by R in ghost space and the curve shape is
+//    preserved; memory and per-access cost shrink by the same factor.
+//  * Mattson boundary markers: one LRU list with one marker per candidate
+//    size gives the hit's size-bucket in O(#sizes) per access instead of
+//    O(stack distance) — no counting walk, no balanced tree.
+//  * Hard entry cap: the list never exceeds the deepest (sampled) candidate
+//    size nor `max_entries`; deeper reuse simply reads as a miss at every
+//    candidate size, which is exactly what a bounded cache would see.
+//
+// Epoch protocol: the partition controller reads mrc() at each epoch
+// boundary, then calls new_epoch(), which decays the per-bucket hit counts
+// (EWMA) so the curve tracks phase changes without forgetting everything.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace srcache::adapt {
+
+class GhostCache {
+ public:
+  struct Config {
+    // SHARDS sampling rate R in (0, 1]. 1.0 profiles every access.
+    double sampling_rate = 0.1;
+    // Hard bound on ghost entries (sampled blocks tracked), regardless of
+    // the candidate ladder. This is the configured memory budget.
+    u64 max_entries = 1 << 16;
+    // Candidate cache sizes in blocks (actual, unsampled space), strictly
+    // ascending. The MRC is evaluated exactly at these points.
+    std::vector<u64> sizes;
+    // EWMA decay applied to hit/miss counts at new_epoch(); 0 forgets
+    // everything each epoch, 1 never forgets.
+    double decay = 0.5;
+  };
+
+  // Miss-ratio curve snapshot: miss_ratio[k] estimates the tenant's miss
+  // ratio with a private cache of sizes[k] blocks.
+  struct Mrc {
+    std::vector<u64> sizes;
+    std::vector<double> miss_ratio;
+    double accesses = 0.0;  // decayed sampled accesses behind the estimate
+
+    // Hit ratio at an arbitrary size, linearly interpolated between ladder
+    // points (0 below the first point's share of reuse, flat past the last).
+    [[nodiscard]] double hit_ratio_at(u64 size_blocks) const;
+  };
+
+  explicit GhostCache(const Config& cfg);
+
+  // Feed one block access. Non-sampled lbas return immediately.
+  void access(u64 lba);
+
+  [[nodiscard]] Mrc mrc() const;
+
+  // Epoch boundary: decay the accumulated counts (the ghost LRU itself is
+  // kept — recency survives epochs, only the statistics age out).
+  void new_epoch();
+
+  [[nodiscard]] size_t entries() const { return index_.size(); }
+  [[nodiscard]] u64 max_entries() const { return capacity_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  // Approximate resident bytes of the ghost structures (for budget tests).
+  [[nodiscard]] size_t memory_bytes() const;
+
+ private:
+  struct Node {
+    u64 lba;
+    u32 region;  // index into sampled_sizes_ of the stack-depth bucket
+  };
+  using List = std::list<Node>;
+
+  [[nodiscard]] bool sampled(u64 lba) const;
+  void demote_overflow(u32 first_region);
+  void touch_front(List::iterator it);
+
+  Config cfg_;
+  std::vector<u64> sampled_sizes_;  // ladder scaled by R, cumulative depths
+  u64 capacity_ = 0;                // min(deepest sampled size, max_entries)
+
+  List lru_;  // front = MRU; regions are contiguous runs in list order
+  std::unordered_map<u64, List::iterator> index_;
+  // markers_[k]: iterator to the LAST (deepest) element of region k; only
+  // meaningful while count_[k] > 0.
+  std::vector<List::iterator> markers_;
+  std::vector<u64> count_;
+
+  std::vector<double> hits_;  // per-region decayed hit counts
+  double misses_ = 0.0;       // cold or deeper-than-ladder, decayed
+};
+
+}  // namespace srcache::adapt

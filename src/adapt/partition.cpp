@@ -1,0 +1,131 @@
+#include "adapt/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace srcache::adapt {
+
+void PartitionController::Config::validate(u32 num_tenants) const {
+  if (num_tenants == 0)
+    throw std::invalid_argument("PartitionController: no tenants");
+  if (capacity_blocks == 0)
+    throw std::invalid_argument("PartitionController: zero capacity");
+  if (min_share < 0.0 || min_share * num_tenants > 1.0)
+    throw std::invalid_argument(
+        "PartitionController: min_share * tenants must be <= 1");
+  if (hysteresis < 0.0 || hysteresis >= 1.0)
+    throw std::invalid_argument("PartitionController: hysteresis in [0, 1)");
+  if (!weights.empty() && weights.size() != num_tenants)
+    throw std::invalid_argument("PartitionController: weights size mismatch");
+}
+
+std::vector<u64> PartitionController::even_split(u32 num_tenants) const {
+  cfg_.validate(num_tenants);
+  std::vector<u64> shares(num_tenants, cfg_.capacity_blocks / num_tenants);
+  shares[0] += cfg_.capacity_blocks - shares[0] * num_tenants;  // remainder
+  return shares;
+}
+
+std::vector<u64> PartitionController::solve(
+    const std::vector<GhostCache::Mrc>& mrcs,
+    const std::vector<double>& accesses, const std::vector<u64>& prev) const {
+  const u32 n = static_cast<u32>(mrcs.size());
+  cfg_.validate(n);
+  if (accesses.size() != n)
+    throw std::invalid_argument("PartitionController: accesses size mismatch");
+
+  const u64 quantum = cfg_.quantum_blocks != 0
+                          ? cfg_.quantum_blocks
+                          : std::max<u64>(1, cfg_.capacity_blocks / 64);
+  const u64 floor_blocks = static_cast<u64>(
+      cfg_.min_share * static_cast<double>(cfg_.capacity_blocks));
+
+  std::vector<u64> shares(n, floor_blocks);
+  u64 granted = floor_blocks * n;
+  if (granted > cfg_.capacity_blocks) {  // floors alone exhaust capacity
+    return even_split(n);
+  }
+
+  auto weight = [&](u32 t) {
+    return cfg_.weights.empty() ? 1.0 : cfg_.weights[t];
+  };
+  // Marginal miss-cost reduction of granting `quantum` more blocks to t,
+  // priced at the steepest average slope from the current share to ANY
+  // deeper ladder point (the concave-hull direction), not just the next
+  // quantum. A cliff MRC — flat, then a step at the working-set size — has
+  // zero one-quantum gain everywhere below the step; the lookahead still
+  // sees the step and keeps granting toward it.
+  auto gain = [&](u32 t) {
+    const double h_now = mrcs[t].hit_ratio_at(shares[t]);
+    double slope = (mrcs[t].hit_ratio_at(shares[t] + quantum) - h_now) /
+                   static_cast<double>(quantum);
+    for (const u64 p : mrcs[t].sizes) {
+      if (p <= shares[t]) continue;
+      const double s = (mrcs[t].hit_ratio_at(p) - h_now) /
+                       static_cast<double>(p - shares[t]);
+      slope = std::max(slope, s);
+    }
+    return weight(t) * accesses[t] * slope * static_cast<double>(quantum);
+  };
+
+  while (granted < cfg_.capacity_blocks) {
+    const u64 grant = std::min(quantum, cfg_.capacity_blocks - granted);
+    u32 best = 0;
+    double best_gain = -1.0;
+    for (u32 t = 0; t < n; ++t) {
+      const double g = gain(t);
+      if (g > best_gain) {
+        best_gain = g;
+        best = t;
+      }
+    }
+    // All-zero marginal gains (idle epoch, saturated or flat-tailed curves):
+    // hand the rest out by demonstrated utility — weighted hits at the share
+    // granted so far — not evenly. A hot tenant whose sampled curve went
+    // flat from tail noise still has hits and takes the surplus; a scan's
+    // MRC is flat at zero hits, and no access volume makes up for that.
+    // Even split only when nobody hit anything this epoch (cold start).
+    if (best_gain <= 0.0) {
+      u64 rest = cfg_.capacity_blocks - granted;
+      std::vector<double> utility(n, 0.0);
+      double total_utility = 0.0;
+      for (u32 t = 0; t < n; ++t) {
+        utility[t] = weight(t) * accesses[t] * mrcs[t].hit_ratio_at(shares[t]);
+        total_utility += utility[t];
+      }
+      const u64 rest0 = rest;
+      for (u32 t = 0; t + 1 < n; ++t) {
+        const u64 part =
+            total_utility <= 0.0
+                ? rest / (n - t)  // cold start: even
+                : static_cast<u64>(static_cast<double>(rest0) * utility[t] /
+                                   total_utility);
+        shares[t] += std::min(part, rest);
+        rest -= std::min(part, rest);
+      }
+      shares[n - 1] += rest;
+      granted = cfg_.capacity_blocks;
+      break;
+    }
+    shares[best] += grant;
+    granted += grant;
+  }
+
+  // Hysteresis: keep the enforced split unless some tenant moves by more
+  // than the configured fraction of total capacity.
+  if (prev.size() == n) {
+    const double thresh =
+        cfg_.hysteresis * static_cast<double>(cfg_.capacity_blocks);
+    double max_move = 0.0;
+    for (u32 t = 0; t < n; ++t) {
+      const double d = std::abs(static_cast<double>(shares[t]) -
+                                static_cast<double>(prev[t]));
+      max_move = std::max(max_move, d);
+    }
+    if (max_move < thresh) return prev;
+  }
+  return shares;
+}
+
+}  // namespace srcache::adapt

@@ -1,0 +1,64 @@
+// Epoch-based capacity partitioning across tenants.
+//
+// Given each tenant's miss-ratio curve (GhostCache::Mrc) and its access
+// volume over the closing epoch, the controller solves for the capacity
+// split minimizing aggregate miss cost:
+//
+//     min  sum_t  weight_t * accesses_t * MR_t(share_t)
+//     s.t. sum_t share_t = capacity,  share_t >= floor
+//
+// MRCs are concave enough in practice that greedy marginal-gain allocation
+// is the standard solver (ECI-Cache does the same): start every tenant at
+// the min-share floor, then hand out one quantum at a time to whichever
+// tenant's curve promises the largest miss-cost reduction for it.
+//
+// Two stabilizers keep the cache from thrashing:
+//  * min-share floor — no tenant is starved below a configured fraction,
+//    so a quiet tenant retains enough cache to show reuse when it returns;
+//  * hysteresis — a new solution is adopted only when some tenant's share
+//    moves by more than a configured fraction of capacity; below that the
+//    previous split stands and no enforcement churn happens at all.
+#pragma once
+
+#include <vector>
+
+#include "adapt/ghost_cache.hpp"
+#include "common/types.hpp"
+
+namespace srcache::adapt {
+
+class PartitionController {
+ public:
+  struct Config {
+    u64 capacity_blocks = 0;  // total managed capacity
+    u64 quantum_blocks = 0;   // allocation granularity (0 = capacity/64)
+    double min_share = 0.05;  // guaranteed fraction of capacity per tenant
+    double hysteresis = 0.02; // min share movement (fraction) to re-balance
+    // Optional per-tenant miss cost; empty = all 1.0. A tenant with weight
+    // 2 counts each miss twice in the objective.
+    std::vector<double> weights;
+
+    void validate(u32 num_tenants) const;
+  };
+
+  explicit PartitionController(const Config& cfg) : cfg_(cfg) {}
+
+  // Solves for the next split. `prev` carries the currently-enforced shares
+  // (empty on the first epoch — hysteresis then never suppresses). Returns
+  // shares in blocks, one per tenant, summing to capacity_blocks (up to
+  // quantum rounding absorbed by the last grant).
+  [[nodiscard]] std::vector<u64> solve(const std::vector<GhostCache::Mrc>& mrcs,
+                                       const std::vector<double>& accesses,
+                                       const std::vector<u64>& prev) const;
+
+  // Capacity / num_tenants each, floored to >= min-share: the split a
+  // static, non-adaptive deployment would use.
+  [[nodiscard]] std::vector<u64> even_split(u32 num_tenants) const;
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace srcache::adapt

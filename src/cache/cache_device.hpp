@@ -16,6 +16,7 @@ struct AppRequest {
   bool is_write = false;
   u64 lba = 0;     // 4 KiB block address in primary-storage space
   u32 nblocks = 1;
+  u32 tenant = 0;  // owning tenant in multi-tenant runs (0 otherwise)
   // Optional content: `tags` supplies one tag per block on writes;
   // `tags_out` (capacity nblocks) receives block content on reads. Both may
   // be null for performance-only runs.

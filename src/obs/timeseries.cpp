@@ -266,6 +266,10 @@ void TimeSeriesSampler::close_interval(sim::SimTime end) {
         else if (name.ends_with(".gc.pages_copied"))
           gc_pages += d;
       }
+      // Per-tenant activity (hit/miss/shed counters) as per-interval deltas:
+      // this is what makes partition adaptation visible over time.
+      if (name.find(".tenant.") != std::string::npos)
+        s.series[name] = static_cast<double>(d);
     }
     s.series["gc.erases"] = static_cast<double>(gc_erases);
     s.series["gc.pages_copied"] = static_cast<double>(gc_pages);

@@ -57,7 +57,7 @@ bool check_crc(const std::vector<u8>& buf) {
 
 blockdev::Payload SegmentMeta::serialize() const {
   auto buf = std::make_shared<std::vector<u8>>();
-  buf->reserve(48 + entries.size() * 12 + 4);
+  buf->reserve(48 + entries.size() * 16 + 4);
   put_u64(*buf, kSegmentMetaMagic);
   put_u64(*buf, generation);
   put_u32(*buf, sg);
@@ -68,6 +68,7 @@ blockdev::Payload SegmentMeta::serialize() const {
   for (const Entry& e : entries) {
     put_u64(*buf, e.lba);
     put_u32(*buf, e.crc);
+    put_u32(*buf, e.tenant);
   }
   append_crc(*buf);
   return buf;
@@ -90,7 +91,10 @@ std::optional<SegmentMeta> SegmentMeta::deserialize(const blockdev::Payload& p) 
   m.parity_col = static_cast<u8>(flags >> 8);
   m.entries.resize(count);
   for (u32 i = 0; i < count; ++i) {
-    if (!r.u64v(&m.entries[i].lba) || !r.u32v(&m.entries[i].crc)) return std::nullopt;
+    if (!r.u64v(&m.entries[i].lba) || !r.u32v(&m.entries[i].crc) ||
+        !r.u32v(&m.entries[i].tenant)) {
+      return std::nullopt;
+    }
   }
   return m;
 }

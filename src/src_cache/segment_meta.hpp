@@ -31,6 +31,8 @@ struct SegmentMeta {
     u64 lba = kDeadSlot;    // primary-storage block, kDeadSlot if the slot
                             // was unused (partial segment) or already dead
     u32 crc = 0;            // CRC-32C of the block's content tag
+    u32 tenant = 0;         // owning tenant, so per-tenant accounting
+                            // survives crash recovery
   };
   std::vector<Entry> entries;  // one per data slot of the whole segment
 

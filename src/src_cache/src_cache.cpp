@@ -220,6 +220,86 @@ void SrcCache::register_metrics(const obs::Scope& scope) {
                     : static_cast<double>(clean_buf_.lbas.size()) /
                           static_cast<double>(cap);
   });
+  metrics_scope_ = scope;
+  tenants_registered_ = 0;
+  register_tenant_metrics();
+}
+
+void SrcCache::register_tenant_metrics() {
+  // Per-tenant metrics appear lazily: tenants can be configured (or first
+  // observed) after register_metrics ran.
+  if (!metrics_scope_.has_value()) return;
+  for (; tenants_registered_ < tenants_.size(); ++tenants_registered_) {
+    const size_t t = tenants_registered_;
+    const obs::Scope ts =
+        metrics_scope_->scope("tenant." + std::to_string(t));
+    ts.counter_fn("read_hit_blocks",
+                  [this, t] { return tenants_[t].read_hit_blocks; });
+    ts.counter_fn("read_miss_blocks",
+                  [this, t] { return tenants_[t].read_miss_blocks; });
+    ts.counter_fn("write_blocks",
+                  [this, t] { return tenants_[t].write_blocks; });
+    ts.counter_fn("fetch_bypass_blocks",
+                  [this, t] { return tenants_[t].fetch_bypass_blocks; });
+    ts.counter_fn("write_bypass_blocks",
+                  [this, t] { return tenants_[t].write_bypass_blocks; });
+    ts.counter_fn("gc_shed_blocks",
+                  [this, t] { return tenants_[t].gc_shed_blocks; });
+    ts.counter_fn("destage_blocks",
+                  [this, t] { return tenants_[t].destage_blocks; });
+    ts.gauge_fn("live_blocks", [this, t] {
+      return static_cast<double>(tenants_[t].live_blocks);
+    });
+    ts.gauge_fn("quota_blocks", [this, t] {
+      return static_cast<double>(tenants_[t].quota_blocks);
+    });
+  }
+}
+
+// --- tenants ----------------------------------------------------------------
+
+u16 SrcCache::norm_tenant(u32 tenant) {
+  if (tenant >= tenants_.size()) {
+    if (quotas_enforced_) return static_cast<u16>(tenants_.size() - 1);
+    tenants_.resize(std::min<u32>(tenant, 0xFFFF) + 1);
+    register_tenant_metrics();
+  }
+  return static_cast<u16>(std::min<u32>(tenant, 0xFFFF));
+}
+
+bool SrcCache::over_quota(u16 tenant) const {
+  if (!quotas_enforced_) return false;
+  const TenantStats& t = tenants_[tenant];
+  return t.live_blocks >= t.quota_blocks;
+}
+
+void SrcCache::census_add(SgInfo& sg, u16 tenant, u32 n) {
+  if (tenant >= sg.live_by_tenant.size()) sg.live_by_tenant.resize(tenant + 1, 0);
+  sg.live_by_tenant[tenant] += n;
+}
+
+void SrcCache::census_sub(SgInfo& sg, u16 tenant, u32 n) {
+  sg.live_by_tenant[tenant] -= n;
+}
+
+u64 SrcCache::reclaimable_live(const SgInfo& sg) const {
+  u64 live = sg.live;
+  if (!quotas_enforced_) return live;
+  for (u16 t = 0; t < sg.live_by_tenant.size() && t < tenants_.size(); ++t) {
+    if (over_quota(t)) live -= std::min<u64>(live, sg.live_by_tenant[t]);
+  }
+  return live;
+}
+
+void SrcCache::set_tenant_quotas(const std::vector<u64>& quotas) {
+  if (quotas.empty()) throw std::invalid_argument("SRC: empty tenant quotas");
+  if (quotas.size() > 0x10000)
+    throw std::invalid_argument("SRC: too many tenants");
+  if (quotas.size() > tenants_.size()) tenants_.resize(quotas.size());
+  for (size_t t = 0; t < tenants_.size(); ++t)
+    tenants_[t].quota_blocks = t < quotas.size() ? quotas[t] : 0;
+  quotas_enforced_ = true;
+  register_tenant_metrics();
 }
 
 // --- bookkeeping ------------------------------------------------------------
@@ -237,6 +317,7 @@ void SrcCache::invalidate_slot(u64 lba, const MapEntry& e) {
   si.slot_lba[e.slot] = kDeadSlot;
   si.live--;
   sg.live--;
+  census_sub(sg, e.tenant, 1);
   live_total_--;
 }
 
@@ -273,12 +354,18 @@ SimTime SrcCache::throttle(SimTime now, SimTime ack) {
 
 // --- write path -------------------------------------------------------------
 
-void SrcCache::stage_dirty(u64 lba, u64 tag, SimTime now) {
+void SrcCache::stage_dirty(u64 lba, u64 tag, u16 tenant, SimTime now) {
   auto it = map_.find(lba);
   if (it != map_.end()) {
     MapEntry& e = it->second;
+    if (e.tenant != tenant) {  // ownership follows the last writer
+      tenants_[e.tenant].live_blocks--;
+      tenants_[tenant].live_blocks++;
+    }
     if (e.buffered() && e.dirty()) {
       dirty_buf_.tags[e.slot] = tag;  // overwrite in place
+      dirty_buf_.tenants[e.slot] = tenant;
+      e.tenant = tenant;
       e.flags |= kFlagHot;
       return;
     }
@@ -286,21 +373,25 @@ void SrcCache::stage_dirty(u64 lba, u64 tag, SimTime now) {
     e.sg = kBufferSg;
     e.seg = 0;
     e.slot = static_cast<u32>(dirty_buf_.lbas.size());
+    e.tenant = tenant;
     e.flags = kFlagDirty | kFlagHot;  // a rewrite makes the block hot
   } else {
     MapEntry e;
     e.sg = kBufferSg;
     e.slot = static_cast<u32>(dirty_buf_.lbas.size());
+    e.tenant = tenant;
     e.flags = kFlagDirty;
     map_.emplace(lba, e);
+    tenants_[tenant].live_blocks++;
   }
   dirty_buf_.lbas.push_back(lba);
   dirty_buf_.tags.push_back(tag);
+  dirty_buf_.tenants.push_back(tenant);
   dirty_buf_.live++;
   last_dirty_stage_ = now;
 }
 
-void SrcCache::stage_clean(u64 lba, u64 tag, SimTime now) {
+void SrcCache::stage_clean(u64 lba, u64 tag, u16 tenant, SimTime now) {
   (void)now;
   auto it = map_.find(lba);
   if (it != map_.end()) {
@@ -310,10 +401,13 @@ void SrcCache::stage_clean(u64 lba, u64 tag, SimTime now) {
   MapEntry e;
   e.sg = kBufferSg;
   e.slot = static_cast<u32>(clean_buf_.lbas.size());
+  e.tenant = tenant;
   e.flags = 0;
   map_.emplace(lba, e);
+  tenants_[tenant].live_blocks++;
   clean_buf_.lbas.push_back(lba);
   clean_buf_.tags.push_back(tag);
+  clean_buf_.tenants.push_back(tenant);
   clean_buf_.live++;
 }
 
@@ -326,8 +420,17 @@ SimTime SrcCache::drain_buffers(SimTime now) {
 
 SimTime SrcCache::do_write(const cache::AppRequest& req) {
   const SimTime now = req.now;
+  const u16 tenant = norm_tenant(req.tenant);
   stats_.app_write_ops++;
   stats_.app_write_blocks += req.nblocks;
+  tenants_[tenant].write_blocks += req.nblocks;
+  // Quota admission gate, write side: an over-quota tenant's NEW blocks go
+  // straight to primary storage instead of staging, so its occupancy decays
+  // toward the quota as GC drains what is already resident. Overwrites of
+  // resident blocks still stage — bypassing those would leave stale data in
+  // the cache — but they do not grow the footprint.
+  std::vector<u64> bypass_lbas;
+  std::vector<u64> bypass_tags;
   for (u32 i = 0; i < req.nblocks; ++i) {
     const u64 lba = req.lba + i;
     const u64 tag = req.tags != nullptr
@@ -335,15 +438,36 @@ SimTime SrcCache::do_write(const cache::AppRequest& req) {
                         : blockdev::make_tag(lba, ++tag_version_);
     if (map_.contains(lba)) {
       stats_.write_hit_blocks++;
+    } else if (over_quota(tenant)) {
+      // Still a new-block write — it just was not admitted. Counting it keeps
+      // hit/miss classification honest: the op paid primary latency.
+      stats_.write_new_blocks++;
+      tenants_[tenant].write_bypass_blocks++;
+      bypass_lbas.push_back(lba);
+      bypass_tags.push_back(tag);
+      continue;
     } else {
       stats_.write_new_blocks++;
     }
-    stage_dirty(lba, tag, now);
+    stage_dirty(lba, tag, tenant, now);
   }
   drain_buffers(now);
   // Writes are acknowledged once staged in the segment buffer (§4.1); the
   // in-flight throttle applies device back-pressure.
   SimTime ack = now + kStageCost * req.nblocks;
+  // Bypassed blocks are acknowledged at primary speed (write-through): the
+  // squeezed tenant feels HDD latency, which is exactly the cost its quota
+  // says it has not earned the flash to avoid.
+  size_t i = 0;
+  while (i < bypass_lbas.size()) {
+    size_t j = i + 1;
+    while (j < bypass_lbas.size() && bypass_lbas[j] == bypass_lbas[j - 1] + 1)
+      ++j;
+    auto r = primary_->write(now, bypass_lbas[i], static_cast<u32>(j - i),
+                             std::span<const u64>(&bypass_tags[i], j - i));
+    if (r.ok()) ack = std::max(ack, r.done);
+    i = j;
+  }
   ack = throttle(now, ack);
   return ack;
 }
@@ -397,8 +521,12 @@ SimTime SrcCache::write_one_segment(SimTime now, bool dirty_type, u64 count) {
                              buf.lbas.begin() + static_cast<long>(count));
   std::vector<u64> taken_tag(buf.tags.begin(),
                              buf.tags.begin() + static_cast<long>(count));
+  std::vector<u16> taken_tenant(buf.tenants.begin(),
+                                buf.tenants.begin() + static_cast<long>(count));
   buf.lbas.erase(buf.lbas.begin(), buf.lbas.begin() + static_cast<long>(count));
   buf.tags.erase(buf.tags.begin(), buf.tags.begin() + static_cast<long>(count));
+  buf.tenants.erase(buf.tenants.begin(),
+                    buf.tenants.begin() + static_cast<long>(count));
   u32 taken_live = 0;
   for (u64 lba : taken_lba)
     if (lba != kDeadSlot) ++taken_live;
@@ -429,8 +557,12 @@ SimTime SrcCache::write_one_segment(SimTime now, bool dirty_type, u64 count) {
   si.slot_lba = taken_lba;
   si.slot_lba.resize(capacity, kDeadSlot);
   si.slot_crc.assign(capacity, 0);
+  si.slot_tenant = taken_tenant;
+  si.slot_tenant.resize(capacity, 0);
   si.live = taken_live;
   sg.live += taken_live;
+  for (u64 s = 0; s < taken_lba.size(); ++s)
+    if (taken_lba[s] != kDeadSlot) census_add(sg, taken_tenant[s], 1);
   live_total_ += taken_live;
 
   // Per-device tag images (column-major slot layout; see addr_of).
@@ -463,6 +595,7 @@ SimTime SrcCache::write_one_segment(SimTime now, bool dirty_type, u64 count) {
     images[dev][row] = tag;
     if (cfg_.raid == SrcRaidLevel::kRaid1) images[dev + ncols][row] = tag;
     meta.entries[s].lba = lba;
+    meta.entries[s].tenant = si.slot_tenant[s];
     if (lba != kDeadSlot) {
       const u32 crc = common::crc32c_of(tag);
       si.slot_crc[s] = crc;
@@ -533,6 +666,7 @@ SimTime SrcCache::write_one_segment(SimTime now, bool dirty_type, u64 count) {
 
 SimTime SrcCache::do_read(const cache::AppRequest& req) {
   const SimTime now = req.now;
+  const u16 tenant = norm_tenant(req.tenant);
   stats_.app_read_ops++;
   stats_.app_read_blocks += req.nblocks;
   SimTime done = now + kRamReadCost * req.nblocks;
@@ -551,6 +685,7 @@ SimTime SrcCache::do_read(const cache::AppRequest& req) {
     auto it = map_.find(lba);
     if (it == map_.end()) {
       stats_.read_miss_blocks++;
+      tenants_[tenant].read_miss_blocks++;
       if (!miss_runs.empty() &&
           miss_runs.back().first + miss_runs.back().second == lba) {
         miss_runs.back().second++;
@@ -562,6 +697,7 @@ SimTime SrcCache::do_read(const cache::AppRequest& req) {
     MapEntry& e = it->second;
     e.flags |= kFlagHot;
     stats_.read_hit_blocks++;
+    tenants_[tenant].read_hit_blocks++;
     if (e.buffered()) {
       const SegBuffer& buf = e.dirty() ? dirty_buf_ : clean_buf_;
       if (req.tags_out != nullptr) req.tags_out[i] = buf.tags[e.slot];
@@ -635,7 +771,13 @@ SimTime SrcCache::do_read(const cache::AppRequest& req) {
     if (req.tags_out != nullptr)
       for (u32 k = 0; k < cnt; ++k)
         req.tags_out[lba - req.lba + k] = fetched[k];
-    for (u32 k = 0; k < cnt; ++k) stage_clean(lba + k, fetched[k], now);
+    // Quota admission gate: an over-quota tenant's misses are served from
+    // primary but not cached, so its footprint shrinks by attrition.
+    if (over_quota(tenant)) {
+      tenants_[tenant].fetch_bypass_blocks += cnt;
+    } else {
+      for (u32 k = 0; k < cnt; ++k) stage_clean(lba + k, fetched[k], tenant, now);
+    }
   }
   // Clean segment writes happen off the critical path; back-pressure only.
   drain_buffers(now);

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <deque>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -62,6 +63,20 @@ class SrcCache final : public cache::CacheDevice {
     kCachedClean,
   };
 
+  // Per-tenant accounting. Slot 0 always exists; set_tenant_quotas (or a
+  // request carrying a new tenant id) grows the vector.
+  struct TenantStats {
+    u64 read_hit_blocks = 0;
+    u64 read_miss_blocks = 0;
+    u64 write_blocks = 0;
+    u64 fetch_bypass_blocks = 0;  // misses served but not admitted (over quota)
+    u64 write_bypass_blocks = 0;  // new writes sent to primary (over quota)
+    u64 gc_shed_blocks = 0;       // blocks GC would have kept, shed over quota
+    u64 destage_blocks = 0;
+    u64 live_blocks = 0;   // current occupancy, buffers included
+    u64 quota_blocks = 0;  // enforced share (0 while unmanaged)
+  };
+
   // Testing hook: abort a segment write at a chosen point to model a torn
   // write / power loss (recovery must then discard the segment).
   // kBeforeSeg cuts power before anything of the segment reaches media.
@@ -87,6 +102,20 @@ class SrcCache final : public cache::CacheDevice {
 
   [[nodiscard]] const SrcConfig& config() const { return cfg_; }
   [[nodiscard]] const ExtraStats& extra() const { return extra_; }
+
+  // Multi-tenant capacity steering. Quotas (blocks per tenant) are soft
+  // targets enforced without eviction storms: an over-quota tenant's misses
+  // are served but not admitted, GC victim selection favours SGs rich in its
+  // blocks, and Sel-GC sheds (destages or drops) its blocks instead of
+  // keeping them — the tenant drains by attrition. Typically driven by
+  // adapt::AdaptiveController at epoch boundaries.
+  void set_tenant_quotas(const std::vector<u64>& quotas);
+  [[nodiscard]] const std::vector<TenantStats>& tenant_stats() const {
+    return tenants_;
+  }
+  [[nodiscard]] u32 tenant_count() const {
+    return static_cast<u32>(tenants_.size());
+  }
   [[nodiscard]] double utilization() const;
   [[nodiscard]] u64 free_sg_count() const { return free_sgs_.size(); }
   [[nodiscard]] Residence residence(u64 lba) const;
@@ -152,6 +181,7 @@ class SrcCache final : public cache::CacheDevice {
     u32 sg = 0;
     u32 seg = 0;
     u32 slot = 0;
+    u16 tenant = 0;
     u8 flags = 0;
     [[nodiscard]] bool dirty() const { return (flags & kFlagDirty) != 0; }
     [[nodiscard]] bool hot() const { return (flags & kFlagHot) != 0; }
@@ -168,6 +198,7 @@ class SrcCache final : public cache::CacheDevice {
     u32 live = 0;
     std::vector<u64> slot_lba;
     std::vector<u32> slot_crc;
+    std::vector<u16> slot_tenant;
   };
 
   enum class SgState : u8 { kFree, kActive, kSealed, kReclaiming, kSuper };
@@ -182,15 +213,20 @@ class SrcCache final : public cache::CacheDevice {
     // which is how destage pressure throttles the foreground (§4.2).
     SimTime ready_at = 0;
     std::vector<SegmentInfo> segs;
+    // Live blocks per tenant in this SG (grown lazily); lets GC victim
+    // selection price over-quota tenants' blocks as reclaimable.
+    std::vector<u32> live_by_tenant;
   };
 
   struct SegBuffer {
     std::vector<u64> lbas;  // kDeadSlot marks an invalidated staged block
     std::vector<u64> tags;
+    std::vector<u16> tenants;
     u32 live = 0;
     void clear() {
       lbas.clear();
       tags.clear();
+      tenants.clear();
       live = 0;
     }
   };
@@ -208,12 +244,23 @@ class SrcCache final : public cache::CacheDevice {
   [[nodiscard]] SlotAddr addr_of(u32 sg, u32 seg, u32 slot,
                                  const SegmentInfo& si) const;
 
+  // --- tenants ---
+  // Clamps an application tenant id into the stats vector, growing it when
+  // quotas are not enforced (unmanaged runs still account per tenant).
+  u16 norm_tenant(u32 tenant);
+  [[nodiscard]] bool over_quota(u16 tenant) const;
+  void census_add(SgInfo& sg, u16 tenant, u32 n);
+  void census_sub(SgInfo& sg, u16 tenant, u32 n);
+  // Victim live count with over-quota tenants' blocks priced as garbage.
+  [[nodiscard]] u64 reclaimable_live(const SgInfo& sg) const;
+  void register_tenant_metrics();
+
   // --- write path ---
   SimTime do_write(const cache::AppRequest& req);
   // Staging only appends to a segment buffer; sealing is driven by
   // seal_buffer so that GC-induced appends can never re-enter a seal.
-  void stage_dirty(u64 lba, u64 tag, SimTime now);
-  void stage_clean(u64 lba, u64 tag, SimTime now);
+  void stage_dirty(u64 lba, u64 tag, u16 tenant, SimTime now);
+  void stage_clean(u64 lba, u64 tag, u16 tenant, SimTime now);
   // Drains every full segment from the buffer (and, when force_partial, a
   // trailing partial one). GC triggered by SG allocation may append more
   // entries; the drain loop absorbs them.
@@ -273,9 +320,15 @@ class SrcCache final : public cache::CacheDevice {
 
   cache::CacheStats stats_;
   ExtraStats extra_;
+  std::vector<TenantStats> tenants_{1};
+  bool quotas_enforced_ = false;
 
   obs::TraceLog* trace_ = nullptr;
   u32 trace_track_ = 0;
+  // Kept so tenants configured after register_metrics still get per-tenant
+  // metrics registered (set_tenant_quotas may run later).
+  std::optional<obs::Scope> metrics_scope_;
+  size_t tenants_registered_ = 0;
 };
 
 }  // namespace srcache::src

@@ -19,8 +19,10 @@ u32 SrcCache::pick_victim() const {
         if (sgs_[s].seal_seq < sgs_[best].seal_seq) best = s;
         break;
       case VictimPolicy::kGreedy:  // least-utilized SG, FIFO tie-break
-        if (sgs_[s].live < sgs_[best].live ||
-            (sgs_[s].live == sgs_[best].live &&
+        // reclaimable_live prices over-quota tenants' blocks as garbage, so
+        // GC gravitates to SGs rich in blocks the partitioner wants gone.
+        if (reclaimable_live(sgs_[s]) < reclaimable_live(sgs_[best]) ||
+            (reclaimable_live(sgs_[s]) == reclaimable_live(sgs_[best]) &&
              sgs_[s].seal_seq < sgs_[best].seal_seq)) {
           best = s;
         }
@@ -31,7 +33,8 @@ u32 SrcCache::pick_victim() const {
         auto score = [&](u32 g) {
           const double cap = static_cast<double>(
               cfg_.segments_per_sg() * cfg_.segment_data_slots(true));
-          const double u = static_cast<double>(sgs_[g].live) / cap;
+          const double u =
+              static_cast<double>(reclaimable_live(sgs_[g])) / cap;
           const double age =
               static_cast<double>(seal_seq_ - sgs_[g].seal_seq + 1);
           return age * (1.0 - u) / (1.0 + u);
@@ -82,6 +85,7 @@ SimTime SrcCache::reclaim_one(SimTime now, bool force_s2d) {
   struct Move {
     u64 lba;
     u64 tag;
+    u16 tenant;
     bool dirty;
   };
   std::vector<Move> destages;
@@ -101,7 +105,10 @@ SimTime SrcCache::reclaim_one(SimTime now, bool force_s2d) {
       const u64 lba = si.slot_lba[s];
       if (lba == kDeadSlot) continue;
       const MapEntry& e = map_.at(lba);
-      const bool keep = !use_s2d && (e.dirty() || e.hot());
+      // Over-quota tenants' clean blocks are shed even when hot: the quota
+      // squeeze works by attrition through GC, never by bulk eviction.
+      const bool keep = !use_s2d && (e.dirty() || e.hot()) &&
+                        !(over_quota(e.tenant) && !e.dirty());
       need[s] = (e.dirty() || keep) ? 1 : 0;
     }
 
@@ -158,19 +165,25 @@ SimTime SrcCache::reclaim_one(SimTime now, bool force_s2d) {
       const MapEntry e = map_.at(lba);
       invalidate_slot(lba, e);
       map_.erase(lba);
+      tenants_[e.tenant].live_blocks--;
       if (need[k] == 2) {
         if (e.dirty()) extra_.lost_dirty_blocks++;
         continue;
       }
+      const bool shed = over_quota(e.tenant);
       if (e.dirty()) {
-        if (use_s2d) {
-          destages.push_back({lba, tag[k], true});
+        // A squeezed tenant's dirty data is destaged rather than S2S-copied:
+        // safe on primary, and its cache share shrinks.
+        if (use_s2d || shed) {
+          if (!use_s2d) tenants_[e.tenant].gc_shed_blocks++;
+          destages.push_back({lba, tag[k], e.tenant, true});
         } else {
-          copies.push_back({lba, tag[k], true});
+          copies.push_back({lba, tag[k], e.tenant, true});
         }
-      } else if (!use_s2d && e.hot()) {
-        copies.push_back({lba, tag[k], false});
+      } else if (!use_s2d && e.hot() && !shed) {
+        copies.push_back({lba, tag[k], e.tenant, false});
       } else {
+        if (shed && !use_s2d && e.hot()) tenants_[e.tenant].gc_shed_blocks++;
         stats_.dropped_clean_blocks++;
       }
     }
@@ -195,6 +208,8 @@ SimTime SrcCache::reclaim_one(SimTime now, bool force_s2d) {
                              std::span<const u64>(wtags.data(), wtags.size()));
     if (r.ok()) destaged_at = std::max(destaged_at, r.done);
     stats_.destage_blocks += j - i;
+    for (size_t k = i; k < j; ++k)
+      tenants_[destages[k].tenant].destage_blocks++;
     i = j;
   }
   primary_->set_background(false);
@@ -205,10 +220,10 @@ SimTime SrcCache::reclaim_one(SimTime now, bool force_s2d) {
   for (const Move& m : copies) {
     stats_.gc_copy_blocks++;
     if (m.dirty) {
-      stage_dirty(m.lba, m.tag, now);
+      stage_dirty(m.lba, m.tag, m.tenant, now);
       map_.at(m.lba).flags &= static_cast<u8>(~kFlagHot);
     } else {
-      stage_clean(m.lba, m.tag, now);
+      stage_clean(m.lba, m.tag, m.tenant, now);
     }
   }
 

@@ -42,6 +42,7 @@ Status SrcCache::recover(SimTime now, SimTime* done_out) {
   live_total_ = 0;
   gen_seq_ = 0;
   seal_seq_ = 0;
+  for (TenantStats& ts : tenants_) ts.live_blocks = 0;
 
   // 3. Scan every segment's MS/ME pair; matching generations mean the
   // segment was written completely (§4.1 failure handling).
@@ -94,11 +95,13 @@ Status SrcCache::recover(SimTime now, SimTime* done_out) {
       si.generation = ms->generation;
       si.slot_lba.assign(ms->entries.size(), kDeadSlot);
       si.slot_crc.assign(ms->entries.size(), 0);
+      si.slot_tenant.assign(ms->entries.size(), 0);
       si.live = 0;
       for (u32 slot = 0; slot < ms->entries.size(); ++slot) {
         const auto& e = ms->entries[slot];
         si.slot_lba[slot] = e.lba;
         si.slot_crc[slot] = e.crc;
+        si.slot_tenant[slot] = norm_tenant(e.tenant);
         if (e.lba == kDeadSlot) continue;
         auto it = best.find(e.lba);
         if (it == best.end() || it->second.gen < si.generation) {
@@ -144,10 +147,13 @@ Status SrcCache::recover(SimTime now, SimTime* done_out) {
         e.sg = s;
         e.seg = g;
         e.slot = slot;
+        e.tenant = si.slot_tenant[slot];
         e.flags = si.type == SegType::kDirty ? kFlagDirty : 0;
         map_.emplace(lba, e);
         si.live++;
         sg.live++;
+        census_add(sg, e.tenant, 1);
+        tenants_[e.tenant].live_blocks++;
         live_total_++;
       }
     }
@@ -186,6 +192,7 @@ void SrcCache::on_ssd_failure(size_t ssd) {
     }
     invalidate_slot(lba, e);
     map_.erase(lba);
+    tenants_[e.tenant].live_blocks--;
   }
 }
 
@@ -252,16 +259,40 @@ Status SrcCache::verify_consistency() const {
     return Status(ErrorCode::kCorrupted, "global live count drift");
 
   u64 buffered = 0;
+  std::vector<u64> tenant_live(tenants_.size(), 0);
   for (const SegBuffer* buf : {&dirty_buf_, &clean_buf_}) {
     u64 live = 0;
-    for (u64 lba : buf->lbas)
-      if (lba != kDeadSlot) ++live;
+    for (size_t i = 0; i < buf->lbas.size(); ++i) {
+      if (buf->lbas[i] == kDeadSlot) continue;
+      ++live;
+      if (buf->tenants[i] >= tenant_live.size())
+        return Status(ErrorCode::kCorrupted, "buffered tenant out of range");
+      tenant_live[buf->tenants[i]]++;
+    }
     if (live != buf->live)
       return Status(ErrorCode::kCorrupted, "buffer live count drift");
     buffered += live;
   }
   if (map_.size() != live_on_ssd + buffered)
     return Status(ErrorCode::kCorrupted, "map size != live blocks");
+
+  // Per-tenant accounting: SG censuses and buffers must add up to each
+  // tenant's occupancy.
+  for (const SgInfo& sg : sgs_) {
+    u64 census = 0;
+    for (size_t t = 0; t < sg.live_by_tenant.size(); ++t) {
+      if (t >= tenant_live.size() && sg.live_by_tenant[t] != 0)
+        return Status(ErrorCode::kCorrupted, "SG census tenant out of range");
+      if (t < tenant_live.size()) tenant_live[t] += sg.live_by_tenant[t];
+      census += sg.live_by_tenant[t];
+    }
+    if (census != sg.live)
+      return Status(ErrorCode::kCorrupted, "SG tenant census drift");
+  }
+  for (size_t t = 0; t < tenants_.size(); ++t) {
+    if (tenant_live[t] != tenants_[t].live_blocks)
+      return Status(ErrorCode::kCorrupted, "tenant occupancy drift");
+  }
   return Status::ok();
 }
 

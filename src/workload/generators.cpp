@@ -12,6 +12,7 @@ FioGen::FioGen(const Config& cfg) : cfg_(cfg), rng_(cfg.seed) {
 
 Op FioGen::next() {
   Op op;
+  op.tenant = cfg_.tenant;
   op.nblocks = cfg_.req_blocks;
   op.is_write = !rng_.chance(static_cast<double>(cfg_.read_pct) / 100.0);
   if (cfg_.sequential) {
@@ -24,6 +25,32 @@ Op FioGen::next() {
     op.lba = cfg_.offset_blocks + rng_.below(slots) * cfg_.req_blocks;
   }
   return op;
+}
+
+TenantMixGen::TenantMixGen(std::vector<Source> sources, u64 seed)
+    : sources_(std::move(sources)), rng_(seed) {
+  if (sources_.empty())
+    throw std::invalid_argument("TenantMixGen: no sources");
+  double total = 0.0;
+  for (const Source& s : sources_) {
+    if (s.gen == nullptr || s.weight <= 0.0)
+      throw std::invalid_argument("TenantMixGen: bad source");
+    total += s.weight;
+  }
+  cumulative_.reserve(sources_.size());
+  double cum = 0.0;
+  for (const Source& s : sources_) {
+    cum += s.weight / total;
+    cumulative_.push_back(cum);
+  }
+  cumulative_.back() = 1.0;  // absorb rounding
+}
+
+Op TenantMixGen::next() {
+  const double u = rng_.uniform();
+  size_t pick = 0;
+  while (pick + 1 < cumulative_.size() && u >= cumulative_[pick]) pick++;
+  return sources_[pick].gen->next();
 }
 
 }  // namespace srcache::workload

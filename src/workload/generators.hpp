@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -13,6 +14,7 @@ struct Op {
   bool is_write = false;
   u64 lba = 0;
   u32 nblocks = 1;
+  u32 tenant = 0;  // multi-tenant runs tag each request with its owner
 };
 
 // A closed-loop request source. next() returns the stream's next request;
@@ -35,6 +37,7 @@ class FioGen final : public Generator {
     int read_pct = 0;       // 0 = pure write
     bool sequential = false;
     u64 seed = 1;
+    u32 tenant = 0;
   };
 
   explicit FioGen(const Config& cfg);
@@ -46,6 +49,29 @@ class FioGen final : public Generator {
   Config cfg_;
   common::Xoshiro256 rng_;
   u64 cursor_ = 0;  // sequential mode
+};
+
+// Interleaves several tenant streams into one request source. Each pull
+// picks a source with probability proportional to its weight (seeded RNG,
+// so the merged stream is deterministic); the chosen source's own tenant
+// tag rides through untouched. This is the tenant-mixing scheduler for
+// multi-tenant runs driven by a single closed loop.
+class TenantMixGen final : public Generator {
+ public:
+  struct Source {
+    Generator* gen = nullptr;  // not owned
+    double weight = 1.0;       // relative share of issued requests
+  };
+
+  TenantMixGen(std::vector<Source> sources, u64 seed);
+
+  Op next() override;
+  [[nodiscard]] const char* name() const override { return "tenant-mix"; }
+
+ private:
+  std::vector<Source> sources_;
+  std::vector<double> cumulative_;  // normalized CDF over sources
+  common::Xoshiro256 rng_;
 };
 
 }  // namespace srcache::workload

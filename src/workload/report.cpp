@@ -85,6 +85,33 @@ std::string run_json(const std::string& bench, const std::string& name,
     w.end_object();
   }
 
+  if (!r.tenants.empty()) {
+    w.key("tenants").begin_array();
+    for (size_t t = 0; t < r.tenants.size(); ++t) {
+      const TenantOutcome& to = r.tenants[t];
+      w.begin_object();
+      w.kv("tenant", static_cast<u64>(t));
+      w.kv("ops", to.ops);
+      w.kv("bytes", to.bytes);
+      w.kv("hit_blocks", to.hit_blocks);
+      w.kv("miss_blocks", to.miss_blocks);
+      w.kv("hit_ratio", to.hit_ratio());
+      w.kv("target_blocks", to.target_blocks);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("adapt").begin_object();
+    w.kv("epochs", static_cast<u64>(r.adapt_epochs));
+    w.kv("rebalances", static_cast<u64>(r.adapt_rebalances));
+    w.end_object();
+  }
+
+  if (r.trace_info.present) {
+    w.key("trace").begin_object();
+    w.kv("malformed_lines", r.trace_info.malformed_lines);
+    w.end_object();
+  }
+
   w.key("metrics").raw(r.metrics.to_json());
   if (!r.timeseries.empty()) w.key("timeseries").raw(r.timeseries.to_json());
   w.end_object();
@@ -94,7 +121,7 @@ std::string run_json(const std::string& bench, const std::string& name,
 std::string ReproReport::to_json() const {
   obs::JsonWriter w;
   w.begin_object();
-  w.kv("schema", "srcache-repro-v2");
+  w.kv("schema", "srcache-repro-v3");
   w.kv("scale", scale_);
   w.kv("virtual_seconds", virtual_seconds_);
   w.key("runs").begin_array();

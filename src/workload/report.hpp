@@ -8,7 +8,7 @@
 // of scraped from text tables.
 //
 // Schema (stable; version bumps change "schema"):
-//   { "schema": "srcache-repro-v2",
+//   { "schema": "srcache-repro-v3",
 //     "scale": 0.25, "virtual_seconds": 10,
 //     "runs": [ { "bench": ..., "name": ...,
 //                 "seconds", "ops", "bytes",
@@ -31,6 +31,15 @@
 //              "degraded_mbps", "degraded_read": {...},
 //              "degraded_write": {...} }
 // Consumers keyed on the v1 fields keep working against either version.
+//
+// v3 is a strict superset of v2: every v2 field is unchanged. Multi-tenant
+// runs (RunConfig::num_tenants > 0) add a per-tenant array and the adaptive
+// controller's epoch counters:
+//   "tenants": [ { "tenant", "ops", "bytes", "hit_blocks", "miss_blocks",
+//                  "hit_ratio", "target_blocks" } ],
+//   "adapt": { "epochs", "rebalances" }
+// Runs replaying a parsed trace file add its provenance:
+//   "trace": { "malformed_lines" }
 #pragma once
 
 #include <string>

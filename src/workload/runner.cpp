@@ -30,6 +30,7 @@ RunResult Runner::run(const std::vector<Generator*>& gens,
   }
 
   RunResult res;
+  res.tenants.resize(cfg.num_tenants);
   obs::TimeSeriesSampler sampler(cfg.registry, cfg.timeseries_interval);
   // Degraded-window accounting: everything issued at or after the first
   // fired fault event is recorded separately so the failure-handling cost
@@ -43,11 +44,13 @@ RunResult Runner::run(const std::vector<Generator*>& gens,
   // request allocation here (tagbuf is reused, histograms are preallocated).
   auto issue = [&](sim::SimTime now, size_t g, bool measure) {
     const Op op = gens[g]->next();
+    if (cfg.adapt != nullptr) cfg.adapt->observe(op.tenant, op.lba, op.nblocks);
     cache::AppRequest req;
     req.now = now;
     req.is_write = op.is_write;
     req.lba = op.lba;
     req.nblocks = op.nblocks;
+    req.tenant = op.tenant;
     if (cfg.with_tags && !op.is_write) {
       tagbuf.resize(op.nblocks);
       req.tags_out = tagbuf.data();
@@ -64,6 +67,15 @@ RunResult Runner::run(const std::vector<Generator*>& gens,
       const u64 miss_after = op.is_write ? cache_->stats().write_new_blocks
                                          : cache_->stats().read_miss_blocks;
       const bool hit = miss_after == miss_before;
+      if (!res.tenants.empty()) {
+        const size_t t = std::min<size_t>(op.tenant, res.tenants.size() - 1);
+        TenantOutcome& to = res.tenants[t];
+        to.ops++;
+        to.bytes += blocks_to_bytes(op.nblocks);
+        const u64 missed = std::min<u64>(miss_after - miss_before, op.nblocks);
+        to.miss_blocks += missed;
+        to.hit_blocks += op.nblocks - missed;
+      }
       res.latency.record(obs::classify(op.is_write, hit), done - now);
       if (cfg.fault != nullptr && cfg.fault->events_fired() > 0) {
         degraded_lat.record(obs::classify(op.is_write, hit), done - now);
@@ -106,6 +118,9 @@ RunResult Runner::run(const std::vector<Generator*>& gens,
   // Fault-plan triggers are relative to the measurement window ("2s in",
   // "ops:1000"), so the injector is anchored and advanced only inside it.
   if (cfg.fault != nullptr) cfg.fault->set_epoch(start);
+  // Adaptive partition epochs are anchored the same way: warm-up traffic
+  // profiles the ghost caches, but epoch boundaries tick inside the window.
+  if (cfg.adapt != nullptr) cfg.adapt->set_epoch_start(start);
 
   while (!heap.empty()) {
     const auto [now, g] = heap.top();
@@ -113,6 +128,8 @@ RunResult Runner::run(const std::vector<Generator*>& gens,
     if (now >= start + cfg.duration) break;
     if (cfg.max_ops != 0 && res.ops >= cfg.max_ops) break;
     if (cfg.fault != nullptr) cfg.fault->advance(now, res.ops);
+    if (cfg.adapt != nullptr && cfg.adapt->epoch_due(now))
+      cfg.adapt->run_epoch(now);
     res.bytes += issue(now, g, /*measure=*/true);
     res.ops++;
   }
@@ -198,6 +215,13 @@ RunResult Runner::run(const std::vector<Generator*>& gens,
     } else {
       fo.healthy_mbps = res.throughput_mbps;
     }
+  }
+  if (cfg.adapt != nullptr) {
+    res.adapt_epochs = cfg.adapt->epochs_completed();
+    res.adapt_rebalances = cfg.adapt->rebalances();
+    const std::vector<u64>& targets = cfg.adapt->targets();
+    for (size_t t = 0; t < res.tenants.size() && t < targets.size(); ++t)
+      res.tenants[t].target_blocks = targets[t];
   }
   return res;
 }

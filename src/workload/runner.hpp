@@ -8,6 +8,7 @@
 #include <array>
 #include <vector>
 
+#include "adapt/adaptive.hpp"
 #include "block/block_device.hpp"
 #include "cache/cache_device.hpp"
 #include "fault/fault_injector.hpp"
@@ -46,6 +47,15 @@ struct RunConfig {
   // before every measured request; RunResult.fault reports the ledger
   // counters and the healthy-vs-degraded split of the window.
   fault::FaultInjector* fault = nullptr;
+  // Multi-tenant: number of tenants to report per-tenant outcomes for
+  // (0 = single-tenant, RunResult.tenants stays empty). Requests carrying a
+  // larger tenant id are folded into the last slot.
+  u32 num_tenants = 0;
+  // Optional adaptive partition controller. Every request (warm-up
+  // included) is fed to observe(); epoch boundaries are anchored at the
+  // measurement-window start, like fault triggers, and closed at request
+  // boundaries inside the window.
+  adapt::AdaptiveController* adapt = nullptr;
 };
 
 // Fault-scenario outcome of a run (RunConfig::fault). The window is split at
@@ -71,6 +81,23 @@ struct FaultOutcome {
   // Request latency over the degraded part of the window only.
   obs::LatencySummary degraded_read_lat;
   obs::LatencySummary degraded_write_lat;
+};
+
+// Per-tenant slice of the measurement window (RunConfig::num_tenants > 0).
+// Hit/miss blocks are classified runner-side from the cache's miss-counter
+// delta around each submit, so any CacheDevice works.
+struct TenantOutcome {
+  u64 ops = 0;
+  u64 bytes = 0;
+  u64 hit_blocks = 0;
+  u64 miss_blocks = 0;
+  u64 target_blocks = 0;  // final enforced share (0 without a controller)
+  [[nodiscard]] double hit_ratio() const {
+    const u64 total = hit_blocks + miss_blocks;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hit_blocks) /
+                            static_cast<double>(total);
+  }
 };
 
 struct RunResult {
@@ -110,6 +137,20 @@ struct RunResult {
 
   // Fault-scenario outcome (inactive unless RunConfig::fault was set).
   FaultOutcome fault;
+
+  // Per-tenant outcomes (empty unless RunConfig::num_tenants > 0) and the
+  // adaptive controller's epoch/rebalance counts over the window.
+  std::vector<TenantOutcome> tenants;
+  u32 adapt_epochs = 0;
+  u32 adapt_rebalances = 0;
+
+  // Trace-file provenance, filled by benches replaying parsed traces so the
+  // malformed-line count surfaces in REPRO_JSON instead of being swallowed.
+  struct TraceInfo {
+    bool present = false;
+    u64 malformed_lines = 0;
+  };
+  TraceInfo trace_info;
 };
 
 class Runner {

@@ -30,51 +30,65 @@ bool split_fields(const std::string& line, std::vector<std::string>& out,
 
 }  // namespace
 
-Result<std::vector<TimedOp>> parse_msr_csv(std::istream& in, size_t* skipped) {
-  std::vector<TimedOp> ops;
+Result<ParsedTrace> parse_msr_csv(std::istream& in, const ParseOptions& opts) {
+  ParsedTrace out;
   std::string line;
   std::vector<std::string> f;
-  size_t bad = 0;
+  auto malformed = [&]() -> bool {
+    return ++out.malformed_lines > opts.max_malformed;
+  };
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
     if (!split_fields(line, f, 7)) {
-      ++bad;
+      if (malformed()) break;
       continue;
     }
     TimedOp op;
+    op.tenant = opts.tenant;
     char* end = nullptr;
     op.timestamp_100ns = std::strtoull(f[0].c_str(), &end, 10);
     if (end == f[0].c_str()) {
-      ++bad;  // header line or garbage
+      if (malformed()) break;  // header line or garbage
       continue;
     }
     // Field 3: "Read" or "Write" (case-insensitive in the wild).
     if (f[3].empty()) {
-      ++bad;
+      if (malformed()) break;
       continue;
     }
     const char t = static_cast<char>(std::tolower(f[3][0]));
     if (t != 'r' && t != 'w') {
-      ++bad;
+      if (malformed()) break;
       continue;
     }
     op.is_write = t == 'w';
     const u64 offset_bytes = std::strtoull(f[4].c_str(), nullptr, 10);
     const u64 size_bytes = std::strtoull(f[5].c_str(), nullptr, 10);
     if (size_bytes == 0) {
-      ++bad;
+      if (malformed()) break;
       continue;
     }
     op.lba = offset_bytes / kBlockSize;
     const u64 end_block = div_ceil(offset_bytes + size_bytes, kBlockSize);
     op.nblocks = static_cast<u32>(
         std::min<u64>(end_block - op.lba, 1 * MiB / kBlockSize));
-    ops.push_back(op);
+    out.ops.push_back(op);
   }
-  if (skipped != nullptr) *skipped = bad;
-  if (ops.empty())
+  if (out.malformed_lines > opts.max_malformed)
+    return Status(ErrorCode::kInvalidArgument,
+                  "trace exceeds malformed-line threshold (" +
+                      std::to_string(out.malformed_lines) + " > " +
+                      std::to_string(opts.max_malformed) + ")");
+  if (out.ops.empty())
     return Status(ErrorCode::kInvalidArgument, "no parsable trace records");
-  return ops;
+  return out;
+}
+
+Result<std::vector<TimedOp>> parse_msr_csv(std::istream& in, size_t* skipped) {
+  Result<ParsedTrace> parsed = parse_msr_csv(in, ParseOptions{});
+  if (!parsed.is_ok()) return parsed.status();
+  if (skipped != nullptr) *skipped = parsed.value().malformed_lines;
+  return std::move(parsed.value().ops);
 }
 
 void write_msr_csv(std::ostream& out, const std::vector<TimedOp>& ops,
@@ -118,6 +132,7 @@ Op TraceFileGen::next() {
     ++loops_;
   }
   Op op;
+  op.tenant = t.tenant;
   op.is_write = t.is_write;
   op.nblocks = t.nblocks;
   op.lba = t.lba;

@@ -9,6 +9,7 @@
 // ships only synthetic equivalents (see trace_synth.hpp).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -23,10 +24,29 @@ struct TimedOp {
   bool is_write = false;
   u64 lba = 0;      // 4 KiB blocks (byte offset rounded down)
   u32 nblocks = 1;  // bytes rounded up
+  u32 tenant = 0;   // assigned at parse time in multi-tenant replays
 };
 
-// Parses an MSR-format CSV stream. Malformed lines are skipped (the public
-// traces contain occasional truncated records); `skipped` reports how many.
+struct ParseOptions {
+  // Abort with kInvalidArgument once more than this many malformed lines
+  // have been skipped: a threshold of 0 demands a pristine trace, the
+  // default tolerates the occasional truncated record in the public traces.
+  size_t max_malformed = SIZE_MAX;
+  u32 tenant = 0;  // stamped on every parsed op
+};
+
+struct ParsedTrace {
+  std::vector<TimedOp> ops;
+  size_t malformed_lines = 0;  // skipped (never silently: see the report)
+};
+
+// Parses an MSR-format CSV stream. Malformed lines are counted and skipped
+// up to opts.max_malformed; crossing the threshold is an error (a trace
+// that malformed is more likely mis-specified than truncated).
+Result<ParsedTrace> parse_msr_csv(std::istream& in, const ParseOptions& opts);
+
+// Legacy convenience wrapper: unlimited tolerance, `skipped` reports the
+// malformed-line count.
 Result<std::vector<TimedOp>> parse_msr_csv(std::istream& in,
                                            size_t* skipped = nullptr);
 

@@ -67,6 +67,7 @@ u32 TraceSynth::sample_req_blocks() {
 
 Op TraceSynth::next() {
   Op op;
+  op.tenant = cfg_.tenant;
   op.is_write = !rng_.chance(static_cast<double>(cfg_.spec.read_pct) / 100.0);
   op.nblocks = sample_req_blocks();
 
@@ -98,7 +99,8 @@ std::vector<Generator*> TraceSet::generators() const {
   return out;
 }
 
-TraceSet make_trace_set(TraceGroup g, u64 total_footprint_bytes, u64 seed) {
+TraceSet make_trace_set(TraceGroup g, u64 total_footprint_bytes, u64 seed,
+                        u32 tenant) {
   const auto& specs = traces_in_group(g);
   double volume = 0.0;
   for (const auto& s : specs) volume += s.size_gb;
@@ -115,6 +117,7 @@ TraceSet make_trace_set(TraceGroup g, u64 total_footprint_bytes, u64 seed) {
                  kBlockSize);
     cfg.offset_blocks = offset;
     cfg.seed = seeder.next();
+    cfg.tenant = tenant;
     offset += cfg.footprint_blocks;
     set.traces.push_back(std::make_unique<TraceSynth>(cfg));
   }

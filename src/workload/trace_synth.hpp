@@ -50,6 +50,7 @@ class TraceSynth final : public Generator {
     // sorted destage sweeps to the HDD array effective.
     u64 extent_blocks = 32;  // 128 KiB
     u64 seed = 1;
+    u32 tenant = 0;
   };
 
   explicit TraceSynth(const Config& cfg);
@@ -79,6 +80,9 @@ struct TraceSet {
   [[nodiscard]] std::vector<Generator*> generators() const;
 };
 
-TraceSet make_trace_set(TraceGroup g, u64 total_footprint_bytes, u64 seed);
+// `tenant` tags every trace in the set (the whole group acts as one tenant
+// in multi-tenant runs; single-tenant callers keep the default 0).
+TraceSet make_trace_set(TraceGroup g, u64 total_footprint_bytes, u64 seed,
+                        u32 tenant = 0);
 
 }  // namespace srcache::workload

@@ -588,7 +588,7 @@ TEST(ObsEndToEnd, ReportJsonRoundTrip) {
   const auto parsed = obs::parse_json(report.to_json());
   ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
   const obs::JsonValue& doc = parsed.value();
-  EXPECT_EQ(doc.find("schema")->string, "srcache-repro-v2");
+  EXPECT_EQ(doc.find("schema")->string, "srcache-repro-v3");
   ASSERT_TRUE(doc.find("runs")->is_array());
   ASSERT_EQ(doc.find("runs")->array.size(), 1u);
 
@@ -645,6 +645,58 @@ TEST(ObsEndToEnd, ReportJsonRoundTrip) {
     ASSERT_NE(counters->find(pre + "gc.pages_copied"), nullptr);
     ASSERT_NE(counters->find(pre + "flushes"), nullptr);
   }
+}
+
+TEST(ObsEndToEnd, ReportJsonTenantsBlockRoundTrips) {
+  // Schema v3 is a strict superset of v2: the tenants/adapt blocks appear
+  // exactly when the run was multi-tenant, and round-trip through the JSON
+  // parser field for field.
+  ObsRig rig;
+  workload::RunResult res = rig.run();
+  ASSERT_TRUE(res.tenants.empty());  // single-tenant run: no block emitted
+  {
+    const auto parsed = obs::parse_json(
+        workload::run_json("obs_test", "single", res));
+    ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+    EXPECT_EQ(parsed.value().find("tenants"), nullptr);
+    EXPECT_EQ(parsed.value().find("adapt"), nullptr);
+  }
+
+  res.tenants.resize(2);
+  res.tenants[0] = {/*ops=*/120, /*bytes=*/491520, /*hit_blocks=*/300,
+                    /*miss_blocks=*/100, /*target_blocks=*/2052};
+  res.tenants[1] = {/*ops=*/40, /*bytes=*/163840, /*hit_blocks=*/10,
+                    /*miss_blocks=*/190, /*target_blocks=*/108};
+  res.adapt_epochs = 9;
+  res.adapt_rebalances = 2;
+  const auto parsed = obs::parse_json(
+      workload::run_json("obs_test", "two_tenant", res));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const obs::JsonValue& run = parsed.value();
+
+  const obs::JsonValue* tenants = run.find("tenants");
+  ASSERT_NE(tenants, nullptr);
+  ASSERT_TRUE(tenants->is_array());
+  ASSERT_EQ(tenants->array.size(), 2u);
+  for (size_t t = 0; t < 2; ++t) {
+    const obs::JsonValue& tn = tenants->array[t];
+    const workload::TenantOutcome& want = res.tenants[t];
+    EXPECT_DOUBLE_EQ(tn.find("tenant")->number, static_cast<double>(t));
+    EXPECT_DOUBLE_EQ(tn.find("ops")->number, static_cast<double>(want.ops));
+    EXPECT_DOUBLE_EQ(tn.find("bytes")->number,
+                     static_cast<double>(want.bytes));
+    EXPECT_DOUBLE_EQ(tn.find("hit_blocks")->number,
+                     static_cast<double>(want.hit_blocks));
+    EXPECT_DOUBLE_EQ(tn.find("miss_blocks")->number,
+                     static_cast<double>(want.miss_blocks));
+    EXPECT_DOUBLE_EQ(tn.find("hit_ratio")->number, want.hit_ratio());
+    EXPECT_DOUBLE_EQ(tn.find("target_blocks")->number,
+                     static_cast<double>(want.target_blocks));
+  }
+  const obs::JsonValue* adapt = run.find("adapt");
+  ASSERT_NE(adapt, nullptr);
+  EXPECT_DOUBLE_EQ(adapt->find("epochs")->number, 9.0);
+  EXPECT_DOUBLE_EQ(adapt->find("rebalances")->number, 2.0);
 }
 
 TEST(ObsEndToEnd, ChromeExportOfRealRunParses) {

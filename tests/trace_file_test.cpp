@@ -55,6 +55,58 @@ TEST(TraceFile, EmptyInputIsError) {
   EXPECT_FALSE(parse_msr_csv(in).is_ok());
 }
 
+// Two malformed lines (bad record, zero-size op) after the header, which is
+// counted as skipped but is not an error by itself.
+const char* kDirty =
+    "Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime\n"
+    "not a record\n"
+    "5,h,0,Write,4096,4096,0\n"
+    "7,h,0,Read,4096,0,0\n";
+
+TEST(TraceFile, MalformedCountReported) {
+  std::istringstream in(kDirty);
+  auto r = parse_msr_csv(in, ParseOptions{});
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().ops.size(), 1u);
+  EXPECT_EQ(r.value().malformed_lines, 3u);  // header + 2 bad records
+}
+
+TEST(TraceFile, MalformedOverThresholdIsError) {
+  ParseOptions opts;
+  opts.max_malformed = 2;  // tolerates header + 1, not header + 2
+  std::istringstream in(kDirty);
+  auto r = parse_msr_csv(in, opts);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(TraceFile, MalformedAtThresholdIsTolerated) {
+  ParseOptions opts;
+  opts.max_malformed = 3;  // exactly the dirt in kDirty
+  std::istringstream in(kDirty);
+  auto r = parse_msr_csv(in, opts);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().malformed_lines, 3u);
+}
+
+TEST(TraceFile, ZeroThresholdDemandsPristineTrace) {
+  ParseOptions opts;
+  opts.max_malformed = 0;
+  std::istringstream pristine(kSample);
+  EXPECT_TRUE(parse_msr_csv(pristine, opts).is_ok());
+  std::istringstream dirty(kDirty);
+  EXPECT_FALSE(parse_msr_csv(dirty, opts).is_ok());
+}
+
+TEST(TraceFile, ParseOptionsStampTenant) {
+  ParseOptions opts;
+  opts.tenant = 7;
+  std::istringstream in(kSample);
+  auto r = parse_msr_csv(in, opts);
+  ASSERT_TRUE(r.is_ok());
+  for (const TimedOp& op : r.value().ops) EXPECT_EQ(op.tenant, 7u);
+}
+
 TEST(TraceFile, WriteReadRoundTrip) {
   std::istringstream in(kSample);
   auto r = parse_msr_csv(in);

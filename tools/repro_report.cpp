@@ -14,9 +14,20 @@
 //   --thr-waf F          max relative I/O-amplification increase (default 0.25)
 //   --csv DIR            write each run's embedded time series (v2 only) as
 //                        DIR/<bench>__<name>.csv for plotting
+//   --tenants            per-tenant partition view of every run that carries
+//                        a v3 "tenants" block (share targets, hit ratios,
+//                        adapt epochs/rebalances)
+//   --assert-hit-gt C B  exit 1 unless run C's aggregate hit_ratio is
+//                        strictly greater than run B's (names match the
+//                        "name" field; first document only) — the CI gate
+//                        for "adaptive beats the static split"
 //
-// Exit codes: 0 = ok, 1 = regression (or baseline run missing from B),
-// 2 = usage / I/O / parse error.
+// Comparison is by field name, so a v2 baseline checks cleanly against a v3
+// candidate: the added "tenants"/"adapt"/"trace" blocks are simply ignored.
+//
+// Exit codes: 0 = ok, 1 = regression (or baseline run missing from B, or a
+// failed --assert-hit-gt), 2 = usage / I/O / parse error.
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +53,9 @@ struct Options {
   double thr_p99 = 0.25;
   double thr_waf = 0.25;
   std::string csv_dir;
+  bool tenants = false;
+  std::string assert_cand;  // --assert-hit-gt: candidate run name
+  std::string assert_base;  // --assert-hit-gt: baseline run name
   std::vector<std::string> files;
 };
 
@@ -61,8 +75,10 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--thr-throughput F] [--thr-p99 F] [--thr-waf F]\n"
-      "       %*s [--csv DIR] baseline.json [candidate.json]\n",
-      argv0, static_cast<int>(std::strlen(argv0)), "");
+      "       %*s [--csv DIR] [--tenants] [--assert-hit-gt CAND BASE]\n"
+      "       %*s baseline.json [candidate.json]\n",
+      argv0, static_cast<int>(std::strlen(argv0)), "",
+      static_cast<int>(std::strlen(argv0)), "");
   return 2;
 }
 
@@ -84,6 +100,12 @@ bool parse_args(int argc, char** argv, Options* opt) {
     } else if (a == "--csv") {
       if (i + 1 >= argc) return false;
       opt->csv_dir = argv[++i];
+    } else if (a == "--tenants") {
+      opt->tenants = true;
+    } else if (a == "--assert-hit-gt") {
+      if (i + 2 >= argc) return false;
+      opt->assert_cand = argv[++i];
+      opt->assert_base = argv[++i];
     } else if (!a.empty() && a[0] == '-') {
       return false;
     } else {
@@ -210,6 +232,60 @@ void print_summary(const std::string& path, const Doc& doc) {
   t.print();
 }
 
+// Per-tenant partition view (schema v3): how each run split the cache and
+// what every tenant got out of its share.
+void print_tenants(const Doc& doc) {
+  Table t({"bench", "run", "tenant", "ops", "hit", "target blk", "epochs",
+           "rebal"});
+  size_t rows = 0;
+  for (const Run& run : doc.runs) {
+    const JsonValue* tenants = run.json->find("tenants");
+    if (tenants == nullptr || !tenants->is_array()) continue;
+    const JsonValue* adapt = run.json->find("adapt");
+    const double epochs = adapt == nullptr ? 0.0 : adapt->number_or("epochs", 0.0);
+    const double rebal =
+        adapt == nullptr ? 0.0 : adapt->number_or("rebalances", 0.0);
+    for (const JsonValue& tn : tenants->array) {
+      t.add_row({run.bench, run.name,
+                 Table::num(tn.number_or("tenant", 0.0), 0),
+                 Table::num(tn.number_or("ops", 0.0), 0),
+                 Table::num(tn.number_or("hit_ratio", 0.0), 3),
+                 Table::num(tn.number_or("target_blocks", 0.0), 0),
+                 Table::num(epochs, 0), Table::num(rebal, 0)});
+      ++rows;
+    }
+  }
+  if (rows == 0) {
+    std::printf("--tenants: no runs carry a tenants block "
+                "(needs a multi-tenant bench and schema v3)\n");
+    return;
+  }
+  t.print();
+}
+
+// --assert-hit-gt: the CI gate. Finds each named run (first match by "name")
+// and demands a strictly higher aggregate hit ratio from the candidate.
+int assert_hit_gt(const Doc& doc, const std::string& cand_name,
+                  const std::string& base_name) {
+  const JsonValue* cand = nullptr;
+  const JsonValue* base = nullptr;
+  for (const Run& run : doc.runs) {
+    if (cand == nullptr && run.name == cand_name) cand = run.json;
+    if (base == nullptr && run.name == base_name) base = run.json;
+  }
+  if (cand == nullptr || base == nullptr) {
+    std::fprintf(stderr, "--assert-hit-gt: run \"%s\" not found\n",
+                 (cand == nullptr ? cand_name : base_name).c_str());
+    return 2;
+  }
+  const double hc = cand->number_or("hit_ratio", 0.0);
+  const double hb = base->number_or("hit_ratio", 0.0);
+  const bool ok = hc > hb;
+  std::printf("assert-hit-gt: %s %.4f %s %s %.4f\n", cand_name.c_str(), hc,
+              ok ? ">" : "<=", base_name.c_str(), hb);
+  return ok ? 0 : 1;
+}
+
 // Relative change of `b` vs baseline `a`; 0 when the baseline is 0.
 double rel(double a, double b) { return a == 0.0 ? 0.0 : (b - a) / a; }
 
@@ -277,15 +353,20 @@ int main(int argc, char** argv) {
 
   bool csv_ok = true;
   if (!opt.csv_dir.empty()) csv_ok = export_csv(a, opt.csv_dir);
+  if (opt.tenants) print_tenants(a);
 
   int rc = 0;
+  if (!opt.assert_cand.empty()) {
+    rc = assert_hit_gt(a, opt.assert_cand, opt.assert_base);
+    if (rc == 2) return 2;
+  }
   if (opt.files.size() == 2) {
     Doc b;
     if (!load_doc(opt.files[1], &b)) return 2;
     std::printf("\n");
     print_summary(opt.files[1], b);
     std::printf("\n");
-    rc = compare(opt, a, b);
+    rc = std::max(rc, compare(opt, a, b));
   }
   return csv_ok ? rc : 2;
 }
