@@ -26,7 +26,9 @@
 
 #include "baselines/bcache_like.hpp"
 #include "baselines/flashcache_like.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
+#include "engine/engine.hpp"
 #include "cost/cost_model.hpp"
 #include "flash/sim_ssd.hpp"
 #include "hdd/iscsi_target.hpp"
@@ -60,6 +62,25 @@ inline double env_knob(const char* name, double fallback, double lo,
     std::exit(2);
   }
   return v;
+}
+
+// Integer variant of env_knob, same philosophy: the whole value must parse
+// as an integer in [lo, hi] or the bench refuses to run.
+inline u32 env_knob_u32(const char* name, u32 fallback, u32 lo, u32 hi) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || v < static_cast<long>(lo) ||
+      v > static_cast<long>(hi)) {
+    std::fprintf(stderr,
+                 "%s=\"%s\" is not an integer in [%u, %u]; "
+                 "refusing to run with a misconfigured knob\n",
+                 name, s, lo, hi);
+    std::exit(2);
+  }
+  return static_cast<u32>(v);
 }
 
 inline double scale() {
@@ -107,6 +128,21 @@ inline double repro_shards_rate() {
   return r;
 }
 
+// Sharded-engine execution knobs (src/engine). REPRO_SHARDS sets how many
+// execution lanes run the fixed domain partition concurrently; REPRO_THREADS
+// caps the worker pool (0 = min(lanes, hardware threads)). Both change only
+// wall-clock behaviour — the deterministic parts of REPRO_JSON are
+// bit-identical across every shards/threads combination.
+inline u32 repro_shards() {
+  static const u32 n = env_knob_u32("REPRO_SHARDS", 1, 1, 256);
+  return n;
+}
+
+inline u32 repro_threads() {
+  static const u32 n = env_knob_u32("REPRO_THREADS", 0, 0, 256);
+  return n;
+}
+
 // Knob-interaction validation, run once from print_header() before any
 // experiment starts. Each individual knob already fails fast on a malformed
 // value (env_knob); this catches combinations that would silently produce a
@@ -139,6 +175,39 @@ inline void validate_repro_knobs() {
                  sim::to_seconds(run_duration()));
     std::exit(2);
   }
+  // Force both engine knobs through strict parsing even when unused, and
+  // catch combinations that would silently under-deliver: REPRO_THREADS
+  // without parallel lanes does nothing, and more threads than lanes can
+  // never all be busy — both almost certainly mean a mistyped knob.
+  const u32 shards = repro_shards();
+  const u32 threads = repro_threads();
+  if (threads > 0 && shards == 1) {
+    std::fprintf(stderr,
+                 "REPRO_THREADS=%u with REPRO_SHARDS=1: a single execution "
+                 "lane cannot use a thread pool. Set REPRO_SHARDS>1 or unset "
+                 "REPRO_THREADS.\n",
+                 threads);
+    std::exit(2);
+  }
+  if (threads > shards) {
+    std::fprintf(stderr,
+                 "REPRO_THREADS=%u exceeds REPRO_SHARDS=%u: extra threads "
+                 "would sit idle. Lower REPRO_THREADS or raise "
+                 "REPRO_SHARDS.\n",
+                 threads, shards);
+    std::exit(2);
+  }
+}
+
+// Writes a recorded TraceLog to REPRO_TRACE as Chrome trace-event JSON.
+inline void write_chrome_trace(obs::TraceLog& log) {
+  const std::string json = log.to_chrome_json();
+  std::FILE* f = std::fopen(repro_trace_path(), "w");
+  if (f == nullptr ||
+      std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+    std::fprintf(stderr, "REPRO_TRACE: cannot write %s\n", repro_trace_path());
+  }
+  if (f != nullptr) std::fclose(f);
 }
 
 inline workload::ReproReport& json_report() {
@@ -384,25 +453,122 @@ inline workload::RunResult run_group(SrcRig& rig, workload::TraceGroup group,
     rc.trace_track = obs::kTrackApp;
   }
   workload::RunResult res = runner.run(set.generators(), rc);
-  if (repro_trace_path() != nullptr) {
-    const std::string json = rig.trace->to_chrome_json();
-    std::FILE* f = std::fopen(repro_trace_path(), "w");
-    if (f == nullptr ||
-        std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
-      std::fprintf(stderr, "REPRO_TRACE: cannot write %s\n",
-                   repro_trace_path());
-    }
-    if (f != nullptr) std::fclose(f);
-  }
+  if (repro_trace_path() != nullptr) write_chrome_trace(*rig.trace);
   return res;
+}
+
+// --- sharded-engine replay (src/engine) ------------------------------------
+
+// The fixed logical partition bench groups are split into. A property of
+// the experiment, NOT of REPRO_SHARDS: every execution configuration runs
+// these same domains, which is what makes the merged output bit-identical
+// across shard counts. 8 matches the paper-scale geometry exactly (at the
+// default REPRO_SCALE=0.25 each domain's erase group lands on the 8 MiB
+// floor rather than below it).
+inline constexpr u32 kEngineDomains = 8;
+
+// One engine domain's rig: a full (1/kEngineDomains-scale) SRC stack plus
+// the trace set whose generators the domain replays. Owned via
+// DomainSetup::owned so it outlives the engine run.
+struct EngineDomainRig {
+  std::unique_ptr<SrcRig> rig;
+  workload::TraceSet set;
+};
+
+// Sharded equivalent of run_group(SrcRig&, ...): partitions the group into
+// kEngineDomains independent domains — each a full SRC stack at scale
+// k/kEngineDomains replaying its own seed-derived trace set over its own
+// footprint slice — and drives them through engine::ParallelEngine under
+// REPRO_SHARDS/REPRO_THREADS. Returns the deterministically merged result;
+// wall-clock numbers go to the REPRO_JSON "perf" section and stdout.
+inline workload::RunResult run_group_sharded(const src::SrcConfig& overrides,
+                                             const flash::SsdSpec& base_spec,
+                                             workload::TraceGroup group,
+                                             double k, const char* bench,
+                                             u64 seed = 42) {
+  const double dk = k / kEngineDomains;
+  const bool want_trace = repro_trace_path() != nullptr;
+  // Keeps domain 0's rig (the only traced one) alive past the engine run so
+  // the trace can be written afterwards.
+  std::shared_ptr<EngineDomainRig> traced;
+
+  const auto factory = [&overrides, &base_spec, group, dk, seed, want_trace,
+                        &traced](u32 index, u32 count) {
+    auto holder = std::make_shared<EngineDomainRig>();
+    holder->rig = make_src_rig(overrides, base_spec, dk);
+    const Geometry geo = holder->rig->geo;
+    // Per-domain seed stream: expand the group seed so domains replay
+    // distinct (but fixed) trace sets regardless of build order.
+    common::SplitMix64 seq(seed);
+    u64 dseed = 0;
+    for (u32 i = 0; i <= index; ++i) dseed = seq.next();
+    holder->set =
+        workload::make_trace_set(group, geo.group_footprint_bytes, dseed);
+
+    engine::DomainSetup s;
+    s.cache = holder->rig->cache.get();
+    s.ssds = holder->rig->ssd_ptrs();
+    s.gens = holder->set.generators();
+    s.cfg.threads_per_gen = 4;
+    s.cfg.iodepth = 4;
+    s.cfg.duration = run_duration();
+    s.cfg.warmup_bytes = 2 * 3 * geo.region_bytes_per_ssd;
+    s.cfg.registry = &holder->rig->registry;
+    s.cfg.timeseries_interval = repro_timeseries_interval();
+    if (want_trace && index == 0) {
+      // One domain's worth of timeline is what a Chrome trace can usefully
+      // show; domain 0 is the deterministic choice.
+      s.cfg.trace = &enable_tracing(*holder->rig);
+      s.cfg.trace_track = obs::kTrackApp;
+      traced = holder;
+    }
+    (void)count;
+    s.owned = holder;
+    return s;
+  };
+
+  engine::EngineConfig ecfg;
+  ecfg.shards = repro_shards();
+  ecfg.threads = repro_threads();
+  engine::ParallelEngine eng(ecfg);
+  engine::EngineResult er = eng.run(kEngineDomains, factory);
+
+  if (traced && traced->rig->trace) write_chrome_trace(*traced->rig->trace);
+
+  const std::string name = workload::to_string(group);
+  std::printf(
+      "[engine] %s: domains=%u shards=%u threads=%u epochs=%u "
+      "wall=%.2fs sim-ops/s=%.0f\n",
+      name.c_str(), er.domains, er.shards, er.threads, er.epochs,
+      er.wall_seconds, er.sim_ops_per_sec);
+
+  if (repro_json_path() != nullptr) {
+    json_report().set_perf_config(er.shards, er.threads);
+    workload::PerfRun pr;
+    pr.bench = bench;
+    pr.name = name;
+    pr.wall_seconds = er.wall_seconds;
+    pr.sim_ops_per_sec = er.sim_ops_per_sec;
+    pr.per_shard.reserve(er.per_shard.size());
+    for (const engine::ShardPerf& sp : er.per_shard)
+      pr.per_shard.push_back({sp.ops, sp.wall_seconds});
+    json_report().add_perf(std::move(pr));
+  }
+  report_run(bench, name, er.merged);
+  return std::move(er.merged);
 }
 
 inline void print_header(const char* experiment, const char* paper_ref) {
   validate_repro_knobs();
   std::printf("=== %s ===\n", experiment);
   std::printf("reproduces: %s\n", paper_ref);
-  std::printf("scale=%.3g (REPRO_SCALE), duration=%.3gs virtual (REPRO_SECONDS)\n\n",
+  std::printf("scale=%.3g (REPRO_SCALE), duration=%.3gs virtual (REPRO_SECONDS)\n",
               scale(), sim::to_seconds(run_duration()));
+  if (repro_shards() > 1) {
+    std::printf("shards=%u (REPRO_SHARDS), threads=%u (REPRO_THREADS, 0=auto)\n",
+                repro_shards(), repro_threads());
+  }
+  std::printf("\n");
 }
 
 }  // namespace srcache::bench

@@ -342,4 +342,51 @@ Result<JsonValue> parse_json(std::string_view text) {
   return Parser(text).parse();
 }
 
+namespace {
+
+void serialize_into(JsonWriter& w, const JsonValue& v) {
+  switch (v.type) {
+    case JsonValue::Type::kNull:
+      w.null();
+      break;
+    case JsonValue::Type::kBool:
+      w.value(v.boolean);
+      break;
+    case JsonValue::Type::kNumber:
+      // Integral values parsed into the double field re-serialize without a
+      // decimal point, matching what the writers emitted for u64/i64.
+      if (v.number == static_cast<double>(static_cast<i64>(v.number)) &&
+          std::abs(v.number) < 9.0e15) {
+        w.value(static_cast<i64>(v.number));
+      } else {
+        w.value(v.number);
+      }
+      break;
+    case JsonValue::Type::kString:
+      w.value(v.string);
+      break;
+    case JsonValue::Type::kArray:
+      w.begin_array();
+      for (const JsonValue& e : v.array) serialize_into(w, e);
+      w.end_array();
+      break;
+    case JsonValue::Type::kObject:
+      w.begin_object();
+      for (const auto& [k, e] : v.object) {
+        w.key(k);
+        serialize_into(w, e);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+}  // namespace
+
+std::string to_json(const JsonValue& v) {
+  JsonWriter w;
+  serialize_into(w, v);
+  return w.take();
+}
+
 }  // namespace srcache::obs

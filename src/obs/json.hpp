@@ -88,4 +88,10 @@ struct JsonValue {
 // Strict parse of a complete JSON document (trailing whitespace allowed).
 Result<JsonValue> parse_json(std::string_view text);
 
+// Canonical re-serialization of a parsed DOM: member order preserved,
+// numbers via JsonWriter's round-trip formatting, no whitespace. Two
+// structurally identical documents serialize to the same bytes, which is
+// what tools/repro_report --digest hashes.
+std::string to_json(const JsonValue& v);
+
 }  // namespace srcache::obs

@@ -36,6 +36,12 @@ common::Histogram LatencyRecorder::writes() const {
   return h;
 }
 
+void LatencyRecorder::merge_from(const LatencyRecorder& other) {
+  for (int c = 0; c < kNumReqClasses; ++c)
+    hist_[static_cast<size_t>(c)].merge(other.hist_[static_cast<size_t>(c)]);
+  clamped_ += other.clamped_;
+}
+
 void LatencyRecorder::reset() {
   for (auto& h : hist_) h.reset();
   clamped_ = 0;

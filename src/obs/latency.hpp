@@ -67,6 +67,11 @@ class LatencyRecorder {
   // and REPRO_JSON as the "obs.latency.clamped" counter; nonzero = bug).
   [[nodiscard]] u64 clamped() const { return clamped_; }
 
+  // Folds another recorder's histograms (and clamp count) into this one.
+  // Bucket-exact, so merging per-shard recorders in any grouping yields the
+  // same percentiles as recording every sample into one recorder.
+  void merge_from(const LatencyRecorder& other);
+
   void reset();
 
  private:

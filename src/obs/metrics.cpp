@@ -70,6 +70,15 @@ MetricsSnapshot MetricsSnapshot::delta_since(
   return d;
 }
 
+void MetricsSnapshot::merge_add(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] += v;
+  for (const auto& [name, h] : other.histograms) {
+    auto [it, inserted] = histograms.try_emplace(name, h);
+    if (!inserted) it->second.merge(h);
+  }
+}
+
 std::string MetricsSnapshot::to_json() const {
   JsonWriter w;
   w.begin_object();

@@ -62,6 +62,12 @@ struct MetricsSnapshot {
   // from `earlier` (registered mid-run) are taken whole.
   [[nodiscard]] MetricsSnapshot delta_since(const MetricsSnapshot& earlier) const;
 
+  // Folds another snapshot in: counters and gauges add, histograms merge.
+  // Used by the engine to aggregate per-shard-domain registries, where the
+  // domains are replicas of the same stack and name-wise sums are the fleet
+  // totals (gauges included: units, occupancies, backlogs).
+  void merge_add(const MetricsSnapshot& other);
+
   // {"counters":{name:value,...},"gauges":{...},
   //  "histograms":{name:{count,min,max,mean,p50,p95,p99,p999},...}}
   [[nodiscard]] std::string to_json() const;

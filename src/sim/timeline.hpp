@@ -7,6 +7,7 @@
 // reproduces queueing delay and parallelism without a full event calendar.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -43,21 +44,26 @@ class ServiceTimeline {
 };
 
 // k identical parallel units fed from one queue (e.g. NAND dies across
-// channels). Work is placed on the earliest-free unit.
+// channels). Work is placed on the earliest-free unit: a min-heap over
+// (free time, unit index) makes each placement O(log k) instead of a linear
+// scan — this is the innermost loop of every simulated device, hit once per
+// page op from every engine shard. Ties break toward the lowest index,
+// matching the original scan's first-minimum choice exactly.
 class MultiServer {
  public:
   explicit MultiServer(int units)
       : free_at_(static_cast<size_t>(units), 0),
-        unit_busy_(static_cast<size_t>(units), 0) {}
+        unit_busy_(static_cast<size_t>(units), 0) {
+    rebuild_heap();
+  }
 
   SimTime submit(SimTime now, SimTime service) {
-    size_t best = 0;
-    for (size_t i = 1; i < free_at_.size(); ++i)
-      if (free_at_[i] < free_at_[best]) best = i;
+    const size_t best = heap_[0].second;
     const SimTime start = free_at_[best] > now ? free_at_[best] : now;
     free_at_[best] = start + service;
     unit_busy_[best] += service;
     busy_time_ += service;
+    sift_down(free_at_[best], best);
     return free_at_[best];
   }
 
@@ -89,11 +95,7 @@ class MultiServer {
     return t;
   }
 
-  [[nodiscard]] SimTime earliest_free() const {
-    SimTime t = free_at_[0];
-    for (SimTime f : free_at_) t = f < t ? f : t;
-    return t;
-  }
+  [[nodiscard]] SimTime earliest_free() const { return heap_[0].first; }
 
   [[nodiscard]] int units() const { return static_cast<int>(free_at_.size()); }
   [[nodiscard]] SimTime busy_time() const { return busy_time_; }
@@ -107,11 +109,42 @@ class MultiServer {
     for (auto& f : free_at_) f = 0;
     for (auto& b : unit_busy_) b = 0;
     busy_time_ = 0;
+    rebuild_heap();
   }
 
  private:
+  // (free time, unit index), heap-ordered so the root is the unit the old
+  // linear scan would pick: smallest free time, lowest index among ties.
+  using Slot = std::pair<SimTime, size_t>;
+
+  void rebuild_heap() {
+    heap_.resize(free_at_.size());
+    for (size_t i = 0; i < free_at_.size(); ++i) heap_[i] = {free_at_[i], i};
+    // All-equal keys with ascending indices already satisfy the heap
+    // property; after reset/construction every free time is 0.
+  }
+
+  // Re-keys the root (the unit just scheduled) and restores heap order.
+  void sift_down(SimTime key, size_t unit) {
+    const size_t n = heap_.size();
+    size_t hole = 0;
+    const Slot updated{key, unit};
+    while (true) {
+      const size_t left = 2 * hole + 1;
+      if (left >= n) break;
+      const size_t right = left + 1;
+      size_t child = left;
+      if (right < n && heap_[right] < heap_[left]) child = right;
+      if (!(heap_[child] < updated)) break;
+      heap_[hole] = heap_[child];
+      hole = child;
+    }
+    heap_[hole] = updated;
+  }
+
   std::vector<SimTime> free_at_;
   std::vector<SimTime> unit_busy_;
+  std::vector<Slot> heap_;
   SimTime busy_time_ = 0;
 };
 

@@ -1,0 +1,254 @@
+#include "workload/closed_loop.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace srcache::workload {
+
+ClosedLoop::ClosedLoop(cache::CacheDevice* cache,
+                       std::vector<blockdev::BlockDevice*> ssds,
+                       const std::vector<Generator*>& gens,
+                       const RunConfig& cfg)
+    : cache_(cache),
+      ssds_(std::move(ssds)),
+      gens_(gens),
+      cfg_(cfg),
+      sampler_(cfg.registry, cfg.timeseries_interval) {
+  if (gens_.empty()) throw std::invalid_argument("Runner: no generators");
+  const size_t streams_per_gen =
+      static_cast<size_t>(cfg_.threads_per_gen) *
+      static_cast<size_t>(std::max(1, cfg_.iodepth));
+  sim::SimTime t0 = 0;
+  for (size_t g = 0; g < gens_.size(); ++g) {
+    for (size_t s = 0; s < streams_per_gen; ++s) {
+      heap_.emplace(t0, g);
+      t0 += 100;  // stagger initial issues slightly
+    }
+  }
+  res_.tenants.resize(cfg_.num_tenants);
+}
+
+// `measure` gates latency/trace recording so the warm-up phase stays out
+// of the histograms. Classification reads the cache's own hit counters
+// around the submit — no extra work on the cache's hot path, no per-
+// request allocation here (tagbuf is reused, histograms are preallocated).
+u64 ClosedLoop::issue(sim::SimTime now, size_t g, bool measure) {
+  const Op op = gens_[g]->next();
+  if (cfg_.adapt != nullptr) cfg_.adapt->observe(op.tenant, op.lba, op.nblocks);
+  cache::AppRequest req;
+  req.now = now;
+  req.is_write = op.is_write;
+  req.lba = op.lba;
+  req.nblocks = op.nblocks;
+  req.tenant = op.tenant;
+  if (cfg_.with_tags && !op.is_write) {
+    tagbuf_.resize(op.nblocks);
+    req.tags_out = tagbuf_.data();
+  }
+  u64 miss_before = 0;
+  if (measure) {
+    miss_before = op.is_write ? cache_->stats().write_new_blocks
+                              : cache_->stats().read_miss_blocks;
+  }
+  const sim::SimTime done = cache_->submit(req);
+  if (done < now) throw std::logic_error("Runner: completion before issue");
+  if (measure) {
+    const u64 miss_after = op.is_write ? cache_->stats().write_new_blocks
+                                       : cache_->stats().read_miss_blocks;
+    const bool hit = miss_after == miss_before;
+    if (!res_.tenants.empty()) {
+      const size_t t = std::min<size_t>(op.tenant, res_.tenants.size() - 1);
+      TenantOutcome& to = res_.tenants[t];
+      to.ops++;
+      to.bytes += blocks_to_bytes(op.nblocks);
+      const u64 missed = std::min<u64>(miss_after - miss_before, op.nblocks);
+      to.miss_blocks += missed;
+      to.hit_blocks += op.nblocks - missed;
+    }
+    res_.latency.record(obs::classify(op.is_write, hit), done - now);
+    // Degraded-window accounting: everything issued at or after the first
+    // fired fault event is recorded separately so the failure-handling cost
+    // (§4.3) is visible next to the healthy baseline.
+    if (cfg_.fault != nullptr && cfg_.fault->events_fired() > 0) {
+      res_.fault.degraded_latency.record(obs::classify(op.is_write, hit),
+                                         done - now);
+      res_.fault.degraded_bytes += blocks_to_bytes(op.nblocks);
+    }
+    sampler_.record(now, op.is_write, hit, op.nblocks,
+                    blocks_to_bytes(op.nblocks));
+    if (cfg_.trace != nullptr) {
+      cfg_.trace->complete(op.is_write ? "req.write" : "req.read",
+                           cfg_.trace_track, now, done, op.nblocks);
+    }
+  }
+  heap_.emplace(done, g);
+  return blocks_to_bytes(op.nblocks);
+}
+
+void ClosedLoop::warmup() {
+  u64 warmed = 0;
+  while (warmed < cfg_.warmup_bytes && !heap_.empty()) {
+    const auto [now, g] = heap_.top();
+    heap_.pop();
+    warmed += issue(now, g, /*measure=*/false);
+  }
+}
+
+void ClosedLoop::start() {
+  // Measurement window starts at the next event after warm-up.
+  start_ = heap_.empty() ? 0 : heap_.top().first;
+  measuring_ = true;
+
+  for (auto* d : ssds_) {
+    const auto& s = d->stats();
+    ssd_before_.read_ops += s.read_ops;
+    ssd_before_.read_blocks += s.read_blocks;
+    ssd_before_.write_ops += s.write_ops;
+    ssd_before_.write_blocks += s.write_blocks;
+  }
+  cache_before_ = cache_->stats();
+  if (cfg_.registry != nullptr) metrics_before_ = cfg_.registry->snapshot();
+  sampler_.start(start_);
+  // Fault-plan triggers are relative to the measurement window ("2s in",
+  // "ops:1000"), so the injector is anchored and advanced only inside it.
+  if (cfg_.fault != nullptr) cfg_.fault->set_epoch(start_);
+  // Adaptive partition epochs are anchored the same way: warm-up traffic
+  // profiles the ghost caches, but epoch boundaries tick inside the window.
+  if (cfg_.adapt != nullptr) cfg_.adapt->set_epoch_start(start_);
+}
+
+bool ClosedLoop::run_until(sim::SimTime until) {
+  if (!measuring_) throw std::logic_error("ClosedLoop: run before start()");
+  const sim::SimTime end = window_end();
+  while (!heap_.empty()) {
+    const auto [now, g] = heap_.top();
+    if (now >= end) {
+      done_ = true;
+      break;
+    }
+    if (cfg_.max_ops != 0 && res_.ops >= cfg_.max_ops) {
+      done_ = true;
+      break;
+    }
+    if (now >= until) return true;  // barrier reached, more work pending
+    heap_.pop();
+    if (cfg_.fault != nullptr) cfg_.fault->advance(now, res_.ops);
+    if (cfg_.adapt != nullptr && cfg_.adapt->epoch_due(now))
+      cfg_.adapt->run_epoch(now);
+    res_.bytes += issue(now, g, /*measure=*/true);
+    res_.ops++;
+  }
+  done_ = done_ || heap_.empty();
+  return !done_;
+}
+
+void ClosedLoop::run_to_end() {
+  // window_end() bounds every issue, so any until past it drains the loop.
+  run_until(window_end() + 1);
+}
+
+sim::SimTime ClosedLoop::next_event() const {
+  return heap_.empty() ? window_end() : heap_.top().first;
+}
+
+RunResult ClosedLoop::finish() {
+  // Close out the sampled window at the nominal end: trailing zero-request
+  // intervals (op budget exhausted, streams drained) are real idle time.
+  sampler_.finish(window_end());
+
+  res_.seconds = sim::to_seconds(cfg_.duration);
+  res_.throughput_mbps = static_cast<double>(res_.bytes) / 1e6 / res_.seconds;
+
+  blockdev::DeviceStats ssd_after;
+  for (auto* d : ssds_) {
+    const auto& s = d->stats();
+    ssd_after.read_ops += s.read_ops;
+    ssd_after.read_blocks += s.read_blocks;
+    ssd_after.write_ops += s.write_ops;
+    ssd_after.write_blocks += s.write_blocks;
+  }
+  res_.ssd = ssd_after - ssd_before_;
+
+  const cache::CacheStats& after = cache_->stats();
+  res_.cache.app_read_ops = after.app_read_ops - cache_before_.app_read_ops;
+  res_.cache.app_read_blocks =
+      after.app_read_blocks - cache_before_.app_read_blocks;
+  res_.cache.app_write_ops = after.app_write_ops - cache_before_.app_write_ops;
+  res_.cache.app_write_blocks =
+      after.app_write_blocks - cache_before_.app_write_blocks;
+  res_.cache.read_hit_blocks =
+      after.read_hit_blocks - cache_before_.read_hit_blocks;
+  res_.cache.read_miss_blocks =
+      after.read_miss_blocks - cache_before_.read_miss_blocks;
+  res_.cache.write_hit_blocks =
+      after.write_hit_blocks - cache_before_.write_hit_blocks;
+  res_.cache.write_new_blocks =
+      after.write_new_blocks - cache_before_.write_new_blocks;
+  res_.cache.fetch_blocks = after.fetch_blocks - cache_before_.fetch_blocks;
+  res_.cache.destage_blocks =
+      after.destage_blocks - cache_before_.destage_blocks;
+  res_.cache.gc_copy_blocks =
+      after.gc_copy_blocks - cache_before_.gc_copy_blocks;
+  res_.cache.dropped_clean_blocks =
+      after.dropped_clean_blocks - cache_before_.dropped_clean_blocks;
+
+  const u64 app_blocks = res_.cache.app_blocks();
+  res_.io_amplification =
+      app_blocks == 0 ? 0.0
+                      : static_cast<double>(res_.ssd.total_blocks()) /
+                            static_cast<double>(app_blocks);
+  res_.hit_ratio = res_.cache.hit_ratio();
+
+  res_.read_lat = obs::LatencySummary::of(res_.latency.reads());
+  res_.write_lat = obs::LatencySummary::of(res_.latency.writes());
+  for (int c = 0; c < obs::kNumReqClasses; ++c) {
+    res_.class_lat[static_cast<size_t>(c)] = obs::LatencySummary::of(
+        res_.latency.histogram(static_cast<obs::ReqClass>(c)));
+  }
+  res_.latency_clamped = res_.latency.clamped();
+  if (cfg_.registry != nullptr)
+    res_.metrics = cfg_.registry->snapshot().delta_since(metrics_before_);
+  // Surface the clamp counter alongside the stack's own metrics so timing
+  // bugs show up in REPRO_JSON instead of being swallowed.
+  res_.metrics.counters["obs.latency.clamped"] = res_.latency_clamped;
+  res_.timeseries = sampler_.take();
+
+  if (cfg_.fault != nullptr) {
+    FaultOutcome& fo = res_.fault;
+    fo.active = true;
+    fo.events_fired = cfg_.fault->events_fired();
+    const fault::FaultLedger& led = cfg_.fault->ledger();
+    fo.injected = led.injected();
+    fo.detected = led.detected();
+    fo.repaired = led.repaired();
+    fo.undetected = led.undetected();
+    const sim::SimTime first = cfg_.fault->first_fire_time();
+    if (first >= 0) {
+      fo.first_fault_s = sim::to_seconds(first - start_);
+      const double healthy_s = sim::to_seconds(first - start_);
+      const double degraded_s = res_.seconds - healthy_s;
+      const u64 healthy_bytes = res_.bytes - fo.degraded_bytes;
+      if (healthy_s > 0)
+        fo.healthy_mbps = static_cast<double>(healthy_bytes) / 1e6 / healthy_s;
+      if (degraded_s > 0)
+        fo.degraded_mbps =
+            static_cast<double>(fo.degraded_bytes) / 1e6 / degraded_s;
+      fo.degraded_read_lat =
+          obs::LatencySummary::of(fo.degraded_latency.reads());
+      fo.degraded_write_lat =
+          obs::LatencySummary::of(fo.degraded_latency.writes());
+    } else {
+      fo.healthy_mbps = res_.throughput_mbps;
+    }
+  }
+  if (cfg_.adapt != nullptr) {
+    res_.adapt_epochs = cfg_.adapt->epochs_completed();
+    res_.adapt_rebalances = cfg_.adapt->rebalances();
+    const std::vector<u64>& targets = cfg_.adapt->targets();
+    for (size_t t = 0; t < res_.tenants.size() && t < targets.size(); ++t)
+      res_.tenants[t].target_blocks = targets[t];
+  }
+  return std::move(res_);
+}
+
+}  // namespace srcache::workload

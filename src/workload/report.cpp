@@ -112,6 +112,23 @@ std::string run_json(const std::string& bench, const std::string& name,
     w.end_object();
   }
 
+  // Deterministic shape of an engine-merged run. Wall-clock data lives in
+  // the document-level "perf" section, never here (see report.hpp).
+  if (r.engine.active) {
+    w.key("engine").begin_object();
+    w.kv("domains", static_cast<u64>(r.engine.domains));
+    w.kv("epochs", static_cast<u64>(r.engine.epochs));
+    w.key("per_domain").begin_array();
+    for (const auto& d : r.engine.per_domain) {
+      w.begin_object();
+      w.kv("ops", d.ops);
+      w.kv("bytes", d.bytes);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
   w.key("metrics").raw(r.metrics.to_json());
   if (!r.timeseries.empty()) w.key("timeseries").raw(r.timeseries.to_json());
   w.end_object();
@@ -121,12 +138,36 @@ std::string run_json(const std::string& bench, const std::string& name,
 std::string ReproReport::to_json() const {
   obs::JsonWriter w;
   w.begin_object();
-  w.kv("schema", "srcache-repro-v3");
+  w.kv("schema", "srcache-repro-v4");
   w.kv("scale", scale_);
   w.kv("virtual_seconds", virtual_seconds_);
   w.key("runs").begin_array();
   for (const std::string& run : runs_) w.raw(run);
   w.end_array();
+  if (!perf_runs_.empty()) {
+    w.key("perf").begin_object();
+    w.kv("shards", static_cast<u64>(perf_shards_));
+    w.kv("threads", static_cast<u64>(perf_threads_));
+    w.key("runs").begin_array();
+    for (const PerfRun& p : perf_runs_) {
+      w.begin_object();
+      w.kv("bench", p.bench);
+      w.kv("name", p.name);
+      w.kv("wall_seconds", p.wall_seconds);
+      w.kv("sim_ops_per_sec", p.sim_ops_per_sec);
+      w.key("per_shard").begin_array();
+      for (const PerfShard& s : p.per_shard) {
+        w.begin_object();
+        w.kv("ops", s.ops);
+        w.kv("wall_seconds", s.wall_seconds);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
   w.end_object();
   return w.take();
 }

@@ -40,6 +40,21 @@
 //   "adapt": { "epochs", "rebalances" }
 // Runs replaying a parsed trace file add its provenance:
 //   "trace": { "malformed_lines" }
+//
+// v4 is a strict superset of v3. Runs merged by the sharded engine
+// (engine::ParallelEngine) add the deterministic partition shape:
+//   "engine": { "domains", "epochs",
+//               "per_domain": [ { "ops", "bytes" } ] }
+// and the document gains an optional top-level "perf" section with the
+// wall-clock side of those runs:
+//   "perf": { "shards", "threads",
+//             "runs": [ { "bench", "name", "wall_seconds",
+//                         "sim_ops_per_sec",
+//                         "per_shard": [ { "ops", "wall_seconds" } ] } ] }
+// Everything under "perf" depends on the execution configuration and host
+// load; it is the ONLY part of the document excluded from the engine's
+// bit-identical-across-shard-counts contract (tools/repro_report --digest
+// hashes the document minus "perf" for exactly this reason).
 #pragma once
 
 #include <string>
@@ -53,6 +68,20 @@ namespace srcache::workload {
 std::string run_json(const std::string& bench, const std::string& name,
                      const RunResult& r);
 
+// Wall-clock record of one engine-driven run for the "perf" section. Kept
+// as plain values so workload does not depend on the engine library.
+struct PerfShard {
+  u64 ops = 0;
+  double wall_seconds = 0.0;
+};
+struct PerfRun {
+  std::string bench;
+  std::string name;
+  double wall_seconds = 0.0;
+  double sim_ops_per_sec = 0.0;
+  std::vector<PerfShard> per_shard;
+};
+
 class ReproReport {
  public:
   ReproReport(double scale, double virtual_seconds)
@@ -63,6 +92,15 @@ class ReproReport {
     runs_.push_back(run_json(bench, name, r));
   }
 
+  // Execution configuration for the "perf" section (REPRO_SHARDS /
+  // REPRO_THREADS as resolved by the engine). The section is emitted once
+  // any perf run was added.
+  void set_perf_config(u32 shards, u32 threads) {
+    perf_shards_ = shards;
+    perf_threads_ = threads;
+  }
+  void add_perf(PerfRun run) { perf_runs_.push_back(std::move(run)); }
+
   [[nodiscard]] size_t size() const { return runs_.size(); }
   [[nodiscard]] std::string to_json() const;
   // Atomically-ish rewrites `path` (write temp, rename); returns success.
@@ -72,6 +110,9 @@ class ReproReport {
   double scale_;
   double virtual_seconds_;
   std::vector<std::string> runs_;  // pre-serialized run objects
+  u32 perf_shards_ = 0;
+  u32 perf_threads_ = 0;
+  std::vector<PerfRun> perf_runs_;
 };
 
 }  // namespace srcache::workload

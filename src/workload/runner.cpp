@@ -1,8 +1,6 @@
 #include "workload/runner.hpp"
 
-#include <algorithm>
-#include <queue>
-#include <stdexcept>
+#include "workload/closed_loop.hpp"
 
 namespace srcache::workload {
 
@@ -12,218 +10,11 @@ Runner::Runner(cache::CacheDevice* cache,
 
 RunResult Runner::run(const std::vector<Generator*>& gens,
                       const RunConfig& cfg) {
-  if (gens.empty()) throw std::invalid_argument("Runner: no generators");
-
-  // Closed loop: (completion time, generator) pairs; popping the earliest
-  // completion issues that stream's next request at that instant.
-  using Entry = std::pair<sim::SimTime, size_t>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-  const size_t streams_per_gen =
-      static_cast<size_t>(cfg.threads_per_gen) *
-      static_cast<size_t>(std::max(1, cfg.iodepth));
-  sim::SimTime t0 = 0;
-  for (size_t g = 0; g < gens.size(); ++g) {
-    for (size_t s = 0; s < streams_per_gen; ++s) {
-      heap.emplace(t0, g);
-      t0 += 100;  // stagger initial issues slightly
-    }
-  }
-
-  RunResult res;
-  res.tenants.resize(cfg.num_tenants);
-  obs::TimeSeriesSampler sampler(cfg.registry, cfg.timeseries_interval);
-  // Degraded-window accounting: everything issued at or after the first
-  // fired fault event is recorded separately so the failure-handling cost
-  // (§4.3) is visible next to the healthy baseline.
-  obs::LatencyRecorder degraded_lat;
-  u64 degraded_bytes = 0;
-  std::vector<u64> tagbuf;
-  // `measure` gates latency/trace recording so the warm-up phase stays out
-  // of the histograms. Classification reads the cache's own hit counters
-  // around the submit — no extra work on the cache's hot path, no per-
-  // request allocation here (tagbuf is reused, histograms are preallocated).
-  auto issue = [&](sim::SimTime now, size_t g, bool measure) {
-    const Op op = gens[g]->next();
-    if (cfg.adapt != nullptr) cfg.adapt->observe(op.tenant, op.lba, op.nblocks);
-    cache::AppRequest req;
-    req.now = now;
-    req.is_write = op.is_write;
-    req.lba = op.lba;
-    req.nblocks = op.nblocks;
-    req.tenant = op.tenant;
-    if (cfg.with_tags && !op.is_write) {
-      tagbuf.resize(op.nblocks);
-      req.tags_out = tagbuf.data();
-    }
-    u64 miss_before = 0;
-    if (measure) {
-      miss_before = op.is_write ? cache_->stats().write_new_blocks
-                                : cache_->stats().read_miss_blocks;
-    }
-    const sim::SimTime done = cache_->submit(req);
-    if (done < now)
-      throw std::logic_error("Runner: completion before issue");
-    if (measure) {
-      const u64 miss_after = op.is_write ? cache_->stats().write_new_blocks
-                                         : cache_->stats().read_miss_blocks;
-      const bool hit = miss_after == miss_before;
-      if (!res.tenants.empty()) {
-        const size_t t = std::min<size_t>(op.tenant, res.tenants.size() - 1);
-        TenantOutcome& to = res.tenants[t];
-        to.ops++;
-        to.bytes += blocks_to_bytes(op.nblocks);
-        const u64 missed = std::min<u64>(miss_after - miss_before, op.nblocks);
-        to.miss_blocks += missed;
-        to.hit_blocks += op.nblocks - missed;
-      }
-      res.latency.record(obs::classify(op.is_write, hit), done - now);
-      if (cfg.fault != nullptr && cfg.fault->events_fired() > 0) {
-        degraded_lat.record(obs::classify(op.is_write, hit), done - now);
-        degraded_bytes += blocks_to_bytes(op.nblocks);
-      }
-      sampler.record(now, op.is_write, hit, op.nblocks,
-                     blocks_to_bytes(op.nblocks));
-      if (cfg.trace != nullptr) {
-        cfg.trace->complete(op.is_write ? "req.write" : "req.read",
-                            cfg.trace_track, now, done, op.nblocks);
-      }
-    }
-    heap.emplace(done, g);
-    return blocks_to_bytes(op.nblocks);
-  };
-
-  // Untimed warm-up phase.
-  u64 warmed = 0;
-  while (warmed < cfg.warmup_bytes && !heap.empty()) {
-    const auto [now, g] = heap.top();
-    heap.pop();
-    warmed += issue(now, g, /*measure=*/false);
-  }
-
-  // Measurement window starts at the next event after warm-up.
-  const sim::SimTime start = heap.empty() ? 0 : heap.top().first;
-
-  blockdev::DeviceStats ssd_before;
-  for (auto* d : ssds_) {
-    const auto& s = d->stats();
-    ssd_before.read_ops += s.read_ops;
-    ssd_before.read_blocks += s.read_blocks;
-    ssd_before.write_ops += s.write_ops;
-    ssd_before.write_blocks += s.write_blocks;
-  }
-  const cache::CacheStats cache_before = cache_->stats();
-  obs::MetricsSnapshot metrics_before;
-  if (cfg.registry != nullptr) metrics_before = cfg.registry->snapshot();
-  sampler.start(start);
-  // Fault-plan triggers are relative to the measurement window ("2s in",
-  // "ops:1000"), so the injector is anchored and advanced only inside it.
-  if (cfg.fault != nullptr) cfg.fault->set_epoch(start);
-  // Adaptive partition epochs are anchored the same way: warm-up traffic
-  // profiles the ghost caches, but epoch boundaries tick inside the window.
-  if (cfg.adapt != nullptr) cfg.adapt->set_epoch_start(start);
-
-  while (!heap.empty()) {
-    const auto [now, g] = heap.top();
-    heap.pop();
-    if (now >= start + cfg.duration) break;
-    if (cfg.max_ops != 0 && res.ops >= cfg.max_ops) break;
-    if (cfg.fault != nullptr) cfg.fault->advance(now, res.ops);
-    if (cfg.adapt != nullptr && cfg.adapt->epoch_due(now))
-      cfg.adapt->run_epoch(now);
-    res.bytes += issue(now, g, /*measure=*/true);
-    res.ops++;
-  }
-  // Close out the sampled window at the nominal end: trailing zero-request
-  // intervals (op budget exhausted, streams drained) are real idle time.
-  sampler.finish(start + cfg.duration);
-
-  res.seconds = sim::to_seconds(cfg.duration);
-  res.throughput_mbps = static_cast<double>(res.bytes) / 1e6 / res.seconds;
-
-  blockdev::DeviceStats ssd_after;
-  for (auto* d : ssds_) {
-    const auto& s = d->stats();
-    ssd_after.read_ops += s.read_ops;
-    ssd_after.read_blocks += s.read_blocks;
-    ssd_after.write_ops += s.write_ops;
-    ssd_after.write_blocks += s.write_blocks;
-  }
-  res.ssd = ssd_after - ssd_before;
-
-  const cache::CacheStats& after = cache_->stats();
-  res.cache.app_read_ops = after.app_read_ops - cache_before.app_read_ops;
-  res.cache.app_read_blocks = after.app_read_blocks - cache_before.app_read_blocks;
-  res.cache.app_write_ops = after.app_write_ops - cache_before.app_write_ops;
-  res.cache.app_write_blocks =
-      after.app_write_blocks - cache_before.app_write_blocks;
-  res.cache.read_hit_blocks = after.read_hit_blocks - cache_before.read_hit_blocks;
-  res.cache.read_miss_blocks =
-      after.read_miss_blocks - cache_before.read_miss_blocks;
-  res.cache.write_hit_blocks =
-      after.write_hit_blocks - cache_before.write_hit_blocks;
-  res.cache.write_new_blocks =
-      after.write_new_blocks - cache_before.write_new_blocks;
-  res.cache.fetch_blocks = after.fetch_blocks - cache_before.fetch_blocks;
-  res.cache.destage_blocks = after.destage_blocks - cache_before.destage_blocks;
-  res.cache.gc_copy_blocks = after.gc_copy_blocks - cache_before.gc_copy_blocks;
-  res.cache.dropped_clean_blocks =
-      after.dropped_clean_blocks - cache_before.dropped_clean_blocks;
-
-  const u64 app_blocks = res.cache.app_blocks();
-  res.io_amplification =
-      app_blocks == 0 ? 0.0
-                      : static_cast<double>(res.ssd.total_blocks()) /
-                            static_cast<double>(app_blocks);
-  res.hit_ratio = res.cache.hit_ratio();
-
-  res.read_lat = obs::LatencySummary::of(res.latency.reads());
-  res.write_lat = obs::LatencySummary::of(res.latency.writes());
-  for (int c = 0; c < obs::kNumReqClasses; ++c) {
-    res.class_lat[static_cast<size_t>(c)] = obs::LatencySummary::of(
-        res.latency.histogram(static_cast<obs::ReqClass>(c)));
-  }
-  res.latency_clamped = res.latency.clamped();
-  if (cfg.registry != nullptr)
-    res.metrics = cfg.registry->snapshot().delta_since(metrics_before);
-  // Surface the clamp counter alongside the stack's own metrics so timing
-  // bugs show up in REPRO_JSON instead of being swallowed.
-  res.metrics.counters["obs.latency.clamped"] = res.latency_clamped;
-  res.timeseries = sampler.take();
-
-  if (cfg.fault != nullptr) {
-    FaultOutcome& fo = res.fault;
-    fo.active = true;
-    fo.events_fired = cfg.fault->events_fired();
-    const fault::FaultLedger& led = cfg.fault->ledger();
-    fo.injected = led.injected();
-    fo.detected = led.detected();
-    fo.repaired = led.repaired();
-    fo.undetected = led.undetected();
-    const sim::SimTime first = cfg.fault->first_fire_time();
-    if (first >= 0) {
-      fo.first_fault_s = sim::to_seconds(first - start);
-      const double healthy_s = sim::to_seconds(first - start);
-      const double degraded_s = res.seconds - healthy_s;
-      const u64 healthy_bytes = res.bytes - degraded_bytes;
-      if (healthy_s > 0)
-        fo.healthy_mbps = static_cast<double>(healthy_bytes) / 1e6 / healthy_s;
-      if (degraded_s > 0)
-        fo.degraded_mbps =
-            static_cast<double>(degraded_bytes) / 1e6 / degraded_s;
-      fo.degraded_read_lat = obs::LatencySummary::of(degraded_lat.reads());
-      fo.degraded_write_lat = obs::LatencySummary::of(degraded_lat.writes());
-    } else {
-      fo.healthy_mbps = res.throughput_mbps;
-    }
-  }
-  if (cfg.adapt != nullptr) {
-    res.adapt_epochs = cfg.adapt->epochs_completed();
-    res.adapt_rebalances = cfg.adapt->rebalances();
-    const std::vector<u64>& targets = cfg.adapt->targets();
-    for (size_t t = 0; t < res.tenants.size() && t < targets.size(); ++t)
-      res.tenants[t].target_blocks = targets[t];
-  }
-  return res;
+  ClosedLoop loop(cache_, ssds_, gens, cfg);
+  loop.warmup();
+  loop.start();
+  loop.run_to_end();
+  return loop.finish();
 }
 
 }  // namespace srcache::workload

@@ -78,7 +78,13 @@ struct FaultOutcome {
   // fired event the whole window is healthy.
   double healthy_mbps = 0.0;
   double degraded_mbps = 0.0;
-  // Request latency over the degraded part of the window only.
+  // Bytes moved from the first fired event on (the numerator of
+  // degraded_mbps; kept so per-shard outcomes merge exactly).
+  u64 degraded_bytes = 0;
+  // Request latency over the degraded part of the window only. The raw
+  // recorder backs the summaries and lets the engine merge shard-domain
+  // outcomes bucket-exactly.
+  obs::LatencyRecorder degraded_latency;
   obs::LatencySummary degraded_read_lat;
   obs::LatencySummary degraded_write_lat;
 };
@@ -151,6 +157,24 @@ struct RunResult {
     u64 malformed_lines = 0;
   };
   TraceInfo trace_info;
+
+  // Deterministic shape of a sharded engine run (engine::ParallelEngine
+  // fills it on merged results). Only shard-count-invariant facts live here
+  // — the domain partition and per-domain slices are a property of the
+  // experiment, not of how it was executed. Shard/thread counts and wall-
+  // clock timings go to the report-level "perf" section instead, which is
+  // explicitly outside the bit-identical-REPRO_JSON contract.
+  struct EngineInfo {
+    bool active = false;
+    u32 domains = 0;
+    u32 epochs = 0;  // epoch barriers crossed
+    struct DomainSlice {
+      u64 ops = 0;
+      u64 bytes = 0;
+    };
+    std::vector<DomainSlice> per_domain;
+  };
+  EngineInfo engine;
 };
 
 class Runner {

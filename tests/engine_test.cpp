@@ -1,0 +1,270 @@
+// engine::ParallelEngine: the determinism contract (bit-identical results
+// for every REPRO_SHARDS/REPRO_THREADS combination), the epoch-barrier
+// quiescence invariant, deterministic delivery of fault and adapt events at
+// barriers, and the exactness of the per-domain merge.
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.hpp"
+#include "src_test_util.hpp"
+#include "workload/generators.hpp"
+#include "workload/report.hpp"
+
+namespace srcache {
+namespace {
+
+using engine::DomainSetup;
+using engine::EngineConfig;
+using engine::EngineResult;
+using engine::EpochView;
+using engine::ParallelEngine;
+
+constexpr sim::SimTime kDuration = 200 * sim::kMs;
+
+// One engine domain over the small SRC test rig: the rig, its generators,
+// and (optionally) the per-domain fault injector, owned together so they
+// outlive the engine run.
+struct TestDomain {
+  src::testutil::Rig rig;
+  std::vector<std::unique_ptr<workload::Generator>> gens;
+  std::vector<workload::Generator*> gen_ptrs;
+};
+
+// Builds domain `index`: a fresh small rig plus two FIO streams whose seeds
+// derive from the domain index, mirroring how the bench harness partitions
+// a trace group.
+DomainSetup make_test_domain(u32 index, u32 num_tenants = 0) {
+  auto holder = std::make_shared<TestDomain>();
+  const u64 span =
+      holder->rig.cfg.region_bytes_per_ssd / kBlockSize;  // 1k blocks
+  workload::FioGen::Config w;
+  w.span_blocks = span * 2;  // 2x cache region: forces misses and GC
+  w.req_blocks = 8;
+  w.read_pct = 0;
+  w.seed = 1000 + index;
+  workload::FioGen::Config r = w;
+  r.read_pct = 70;
+  r.seed = 2000 + index;
+  r.tenant = num_tenants > 1 ? 1 : 0;
+  holder->gens.push_back(std::make_unique<workload::FioGen>(w));
+  holder->gens.push_back(std::make_unique<workload::FioGen>(r));
+  for (auto& g : holder->gens) holder->gen_ptrs.push_back(g.get());
+
+  DomainSetup s;
+  s.cache = holder->rig.cache.get();
+  for (auto& d : holder->rig.ssds) s.ssds.push_back(d.get());
+  s.gens = holder->gen_ptrs;
+  s.cfg.threads_per_gen = 2;
+  s.cfg.iodepth = 2;
+  s.cfg.duration = kDuration;
+  s.cfg.warmup_bytes = 256 * KiB;
+  s.cfg.num_tenants = num_tenants;
+  s.owned = holder;
+  return s;
+}
+
+EngineResult run_engine(u32 domains, u32 shards, u32 threads,
+                        ParallelEngine* prebuilt = nullptr) {
+  EngineConfig cfg;
+  cfg.shards = shards;
+  cfg.threads = threads;
+  ParallelEngine local(cfg);
+  ParallelEngine& eng = prebuilt != nullptr ? *prebuilt : local;
+  return eng.run(domains,
+                 [](u32 index, u32) { return make_test_domain(index); });
+}
+
+// The serialized run is the equality witness: every field that lands in
+// REPRO_JSON — stats, latency histograms, metrics, merged time series —
+// must match byte for byte.
+std::string fingerprint(const EngineResult& r) {
+  return workload::run_json("engine_test", "run", r.merged);
+}
+
+TEST(ParallelEngine, BitIdenticalAcrossShardCounts) {
+  const EngineResult serial = run_engine(8, 1, 0);
+  ASSERT_GT(serial.merged.ops, 0u);
+  const std::string want = fingerprint(serial);
+  for (u32 shards : {2u, 3u, 8u}) {
+    const EngineResult sharded = run_engine(8, shards, 0);
+    EXPECT_EQ(want, fingerprint(sharded)) << shards << " shards";
+    EXPECT_EQ(sharded.shards, shards);
+  }
+}
+
+TEST(ParallelEngine, BitIdenticalAcrossThreadCounts) {
+  const std::string one = fingerprint(run_engine(8, 4, 1));
+  const std::string four = fingerprint(run_engine(8, 4, 4));
+  EXPECT_EQ(one, four);
+}
+
+TEST(ParallelEngine, ShardsBeyondDomainsClampToDomains) {
+  const EngineResult r = run_engine(3, 8, 0);
+  EXPECT_EQ(r.shards, 3u);
+  EXPECT_EQ(fingerprint(r), fingerprint(run_engine(3, 1, 0)));
+}
+
+TEST(ParallelEngine, EngineInfoAndPerfShape) {
+  const EngineResult r = run_engine(4, 2, 2);
+  EXPECT_TRUE(r.merged.engine.active);
+  EXPECT_EQ(r.merged.engine.domains, 4u);
+  EXPECT_EQ(r.merged.engine.epochs, r.epochs);
+  ASSERT_EQ(r.merged.engine.per_domain.size(), 4u);
+  ASSERT_EQ(r.per_domain.size(), 4u);
+  u64 ops = 0, bytes = 0;
+  for (size_t d = 0; d < 4; ++d) {
+    EXPECT_EQ(r.merged.engine.per_domain[d].ops, r.per_domain[d].ops);
+    ops += r.per_domain[d].ops;
+    bytes += r.per_domain[d].bytes;
+  }
+  EXPECT_EQ(r.merged.ops, ops);
+  EXPECT_EQ(r.merged.bytes, bytes);
+  // Per-shard perf covers every domain exactly once (lane d runs domains
+  // d, d+shards, ...).
+  ASSERT_EQ(r.per_shard.size(), 2u);
+  EXPECT_EQ(r.per_shard[0].domains + r.per_shard[1].domains, 4u);
+  EXPECT_EQ(r.per_shard[0].ops + r.per_shard[1].ops, ops);
+  EXPECT_GT(r.wall_seconds, 0.0);
+}
+
+TEST(ParallelEngine, MergeRecomputesDerivedMetrics) {
+  const EngineResult r = run_engine(4, 2, 0);
+  const workload::RunResult again = engine::merge_results(r.per_domain);
+  // The merged run serializes with its engine block.
+  EXPECT_NE(workload::run_json("t", "r", r.merged).find("\"engine\""),
+            std::string::npos);
+  // merge_results itself is deterministic and pure.
+  EXPECT_EQ(again.ops, r.merged.ops);
+  EXPECT_DOUBLE_EQ(again.throughput_mbps, r.merged.throughput_mbps);
+  EXPECT_DOUBLE_EQ(again.hit_ratio, r.merged.hit_ratio);
+  EXPECT_DOUBLE_EQ(again.io_amplification, r.merged.io_amplification);
+  // Derived doubles come from the exact integer aggregates.
+  EXPECT_DOUBLE_EQ(
+      again.throughput_mbps,
+      static_cast<double>(again.bytes) / 1e6 / again.seconds);
+}
+
+TEST(ParallelEngine, RejectsMisconfiguration) {
+  EngineConfig cfg;
+  ParallelEngine eng(cfg);
+  EXPECT_THROW(eng.run(0, [](u32, u32) { return make_test_domain(0); }),
+               std::invalid_argument);
+  EXPECT_THROW(eng.run(1, engine::DomainFactory{}), std::invalid_argument);
+  // Domains disagreeing on duration break the shared barrier schedule.
+  EXPECT_THROW(eng.run(2,
+                       [](u32 index, u32) {
+                         DomainSetup s = make_test_domain(index);
+                         if (index == 1) s.cfg.duration = kDuration / 2;
+                         return s;
+                       }),
+               std::invalid_argument);
+  EXPECT_THROW(eng.run(1,
+                       [](u32, u32) {
+                         DomainSetup s;  // no cache
+                         return s;
+                       }),
+               std::invalid_argument);
+}
+
+// --- epoch barriers --------------------------------------------------------
+
+// At every barrier: hooks run on the coordinator against quiescent domains
+// (no pending completion before the barrier time), in registration order,
+// observing an identical deterministic sequence regardless of shard count.
+TEST(ParallelEngine, EpochBarrierQuiescenceAndOrdering) {
+  auto run_with_probe = [](u32 shards) {
+    EngineConfig cfg;
+    cfg.shards = shards;
+    cfg.epoch = kDuration / 4;
+    ParallelEngine eng(cfg);
+    std::vector<std::string> seq;
+    eng.add_epoch_hook([&seq](const EpochView& v) {
+      std::string line = "epoch " + std::to_string(v.epoch) + " @" +
+                         std::to_string(v.rel_end) + ":";
+      for (const auto& dom : *v.domains) {
+        // Quiescence: nothing pending strictly before the barrier.
+        EXPECT_GE(dom->rel_next_event(), v.rel_end)
+            << "domain " << dom->index() << " epoch " << v.epoch;
+        line += " " + std::to_string(dom->ops());
+      }
+      seq.push_back(line);
+    });
+    eng.add_epoch_hook([&seq](const EpochView& v) {
+      seq.push_back("second hook " + std::to_string(v.epoch));
+    });
+    const EngineResult r =
+        eng.run(4, [](u32 index, u32) { return make_test_domain(index); });
+    EXPECT_EQ(r.epochs, 4u);
+    // Hooks ran in registration order at every barrier.
+    EXPECT_EQ(seq.size(), 2u * r.epochs);
+    for (u32 e = 0; e < r.epochs; ++e) {
+      EXPECT_EQ(seq[2 * e].rfind("epoch " + std::to_string(e), 0), 0u);
+      EXPECT_EQ(seq[2 * e + 1], "second hook " + std::to_string(e));
+    }
+    return seq;
+  };
+  const std::vector<std::string> serial = run_with_probe(1);
+  const std::vector<std::string> sharded = run_with_probe(4);
+  EXPECT_EQ(serial, sharded);
+}
+
+// A fault-plan event delivered at a barrier (fail SSD 0 of every domain at
+// epoch 1) must change the outcome — the delivery really happened — and the
+// changed outcome must still be bit-identical across shard counts.
+TEST(ParallelEngine, FaultDeliveryAtBarrierIsDeterministic) {
+  auto run_with_fault = [](u32 shards) {
+    EngineConfig cfg;
+    cfg.shards = shards;
+    cfg.epoch = kDuration / 4;
+    ParallelEngine eng(cfg);
+    eng.add_epoch_hook([](const EpochView& v) {
+      if (v.epoch != 1) return;
+      for (const auto& dom : *v.domains) dom->ssds()[0]->fail();
+    });
+    return fingerprint(
+        eng.run(4, [](u32 index, u32) { return make_test_domain(index); }));
+  };
+  const std::string baseline = fingerprint(run_engine(4, 1, 0, nullptr));
+  const std::string faulted1 = run_with_fault(1);
+  const std::string faulted4 = run_with_fault(4);
+  EXPECT_EQ(faulted1, faulted4);
+  EXPECT_NE(faulted1, baseline);
+}
+
+// Adapt-style quota decisions delivered at a barrier (shrink tenant 0's
+// share on every domain's cache at epoch 2): same contract as faults.
+TEST(ParallelEngine, AdaptQuotaDeliveryAtBarrierIsDeterministic) {
+  auto run_with_quotas = [](u32 shards) {
+    EngineConfig cfg;
+    cfg.shards = shards;
+    cfg.epoch = kDuration / 4;
+    ParallelEngine eng(cfg);
+    // The factory records each domain's concrete SrcCache so the hook can
+    // reach set_tenant_quotas (ShardDomain exposes the CacheDevice base).
+    auto caches = std::make_shared<std::vector<src::SrcCache*>>(4, nullptr);
+    eng.add_epoch_hook([caches](const EpochView& v) {
+      if (v.epoch != 2) return;
+      for (const auto& dom : *v.domains) {
+        src::SrcCache* c = (*caches)[dom->index()];
+        ASSERT_NE(c, nullptr);
+        c->set_tenant_quotas({256, 128});
+      }
+    });
+    const EngineResult r = eng.run(4, [caches](u32 index, u32) {
+      DomainSetup s = make_test_domain(index, /*num_tenants=*/2);
+      auto* holder = static_cast<TestDomain*>(s.owned.get());
+      (*caches)[index] = holder->rig.cache.get();
+      return s;
+    });
+    EXPECT_FALSE(r.merged.tenants.empty());
+    return fingerprint(r);
+  };
+  EXPECT_EQ(run_with_quotas(1), run_with_quotas(4));
+}
+
+}  // namespace
+}  // namespace srcache

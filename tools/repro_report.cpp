@@ -21,12 +21,20 @@
 //                        strictly greater than run B's (names match the
 //                        "name" field; first document only) — the CI gate
 //                        for "adaptive beats the static split"
+//   --digest             print crc32c of each document minus its "perf"
+//                        section (the only execution-dependent part, v4);
+//                        with two files, exit 1 on digest mismatch — the CI
+//                        gate for "sharded == serial, bit for bit"
 //
 // Comparison is by field name, so a v2 baseline checks cleanly against a v3
 // candidate: the added "tenants"/"adapt"/"trace" blocks are simply ignored.
+// Documents carrying a v4 "perf" section additionally get a wall-clock
+// summary (simulated-ops/sec, per-shard breakdown) and, in A/B mode, a
+// speedup line — informational only, wall clock never gates.
 //
 // Exit codes: 0 = ok, 1 = regression (or baseline run missing from B, or a
-// failed --assert-hit-gt), 2 = usage / I/O / parse error.
+// failed --assert-hit-gt, or a --digest mismatch), 2 = usage / I/O / parse
+// error.
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
@@ -38,6 +46,9 @@
 #include <string>
 #include <vector>
 
+#include <span>
+
+#include "common/crc32c.hpp"
 #include "common/table.hpp"
 #include "obs/json.hpp"
 #include "obs/timeseries.hpp"
@@ -54,6 +65,7 @@ struct Options {
   double thr_waf = 0.25;
   std::string csv_dir;
   bool tenants = false;
+  bool digest = false;
   std::string assert_cand;  // --assert-hit-gt: candidate run name
   std::string assert_base;  // --assert-hit-gt: baseline run name
   std::vector<std::string> files;
@@ -76,7 +88,7 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--thr-throughput F] [--thr-p99 F] [--thr-waf F]\n"
       "       %*s [--csv DIR] [--tenants] [--assert-hit-gt CAND BASE]\n"
-      "       %*s baseline.json [candidate.json]\n",
+      "       %*s [--digest] baseline.json [candidate.json]\n",
       argv0, static_cast<int>(std::strlen(argv0)), "",
       static_cast<int>(std::strlen(argv0)), "");
   return 2;
@@ -102,6 +114,8 @@ bool parse_args(int argc, char** argv, Options* opt) {
       opt->csv_dir = argv[++i];
     } else if (a == "--tenants") {
       opt->tenants = true;
+    } else if (a == "--digest") {
+      opt->digest = true;
     } else if (a == "--assert-hit-gt") {
       if (i + 2 >= argc) return false;
       opt->assert_cand = argv[++i];
@@ -209,6 +223,87 @@ bool export_csv(const Doc& doc, const std::string& dir) {
   return all_ok;
 }
 
+// crc32c over the canonical serialization of the document minus its "perf"
+// section. Everything else in a REPRO_JSON document is deterministic, so two
+// runs of the same experiment — at any REPRO_SHARDS/REPRO_THREADS — must
+// produce the same digest.
+srcache::u32 digest_minus_perf(const Doc& doc) {
+  JsonValue stripped = doc.root;
+  if (stripped.is_object()) {
+    std::erase_if(stripped.object,
+                  [](const auto& kv) { return kv.first == "perf"; });
+  }
+  const std::string canon = srcache::obs::to_json(stripped);
+  return srcache::common::crc32c(std::span(
+      reinterpret_cast<const srcache::u8*>(canon.data()), canon.size()));
+}
+
+// Wall-clock summary of a v4 "perf" section: simulated-ops/sec per run plus
+// the per-shard lane breakdown. Informational only — never gates, never
+// digested.
+void print_perf(const Doc& doc) {
+  const JsonValue* perf = doc.root.find("perf");
+  if (perf == nullptr) return;
+  std::printf("perf: shards=%.0f threads=%.0f (wall-clock; outside --digest)\n",
+              perf->number_or("shards", 0.0), perf->number_or("threads", 0.0));
+  const JsonValue* runs = perf->find("runs");
+  if (runs == nullptr || !runs->is_array()) return;
+  Table t({"bench", "run", "wall s", "sim-ops/s", "per-shard wall s"});
+  for (const JsonValue& r : runs->array) {
+    std::string lanes;
+    if (const JsonValue* ps = r.find("per_shard");
+        ps != nullptr && ps->is_array()) {
+      for (const JsonValue& s : ps->array) {
+        if (!lanes.empty()) lanes += " ";
+        lanes += Table::num(s.number_or("wall_seconds", 0.0), 2);
+      }
+    }
+    const JsonValue* bench = r.find("bench");
+    const JsonValue* name = r.find("name");
+    t.add_row({bench != nullptr ? bench->string : "?",
+               name != nullptr ? name->string : "?",
+               Table::num(r.number_or("wall_seconds", 0.0), 2),
+               Table::num(r.number_or("sim_ops_per_sec", 0.0), 0), lanes});
+  }
+  t.print();
+}
+
+// A/B wall-clock speedup over matched perf runs (v4). Kept out of the
+// regression verdict: host load and shard counts legitimately differ
+// between the two documents.
+void print_speedup(const Doc& base, const Doc& cand) {
+  const JsonValue* pa = base.root.find("perf");
+  const JsonValue* pb = cand.root.find("perf");
+  if (pa == nullptr || pb == nullptr) return;
+  const JsonValue* ra = pa->find("runs");
+  const JsonValue* rb = pb->find("runs");
+  if (ra == nullptr || !ra->is_array() || rb == nullptr || !rb->is_array())
+    return;
+  std::printf(
+      "\nwall-clock speedup, baseline shards=%.0f vs candidate shards=%.0f "
+      "(informational):\n",
+      pa->number_or("shards", 0.0), pb->number_or("shards", 0.0));
+  Table t({"bench", "run", "base ops/s", "cand ops/s", "speedup"});
+  for (const JsonValue& a : ra->array) {
+    const JsonValue* ab = a.find("bench");
+    const JsonValue* an = a.find("name");
+    if (ab == nullptr || an == nullptr) continue;
+    for (const JsonValue& b : rb->array) {
+      const JsonValue* bb = b.find("bench");
+      const JsonValue* bn = b.find("name");
+      if (bb == nullptr || bn == nullptr || bb->string != ab->string ||
+          bn->string != an->string)
+        continue;
+      const double oa = a.number_or("sim_ops_per_sec", 0.0);
+      const double ob = b.number_or("sim_ops_per_sec", 0.0);
+      t.add_row({ab->string, an->string, Table::num(oa, 0), Table::num(ob, 0),
+                 oa > 0.0 ? Table::num(ob / oa, 2) + "x" : "-"});
+      break;
+    }
+  }
+  t.print();
+}
+
 void print_summary(const std::string& path, const Doc& doc) {
   std::printf("%s  (%s, %zu runs, scale=%g, %gs virtual)\n", path.c_str(),
               doc.schema.c_str(), doc.runs.size(),
@@ -230,6 +325,7 @@ void print_summary(const std::string& path, const Doc& doc) {
                std::to_string(timeseries_samples(*run.json))});
   }
   t.print();
+  print_perf(doc);
 }
 
 // Per-tenant partition view (schema v3): how each run split the cache and
@@ -349,6 +445,26 @@ int main(int argc, char** argv) {
 
   Doc a;
   if (!load_doc(opt.files[0], &a)) return 2;
+
+  if (opt.digest) {
+    const srcache::u32 da = digest_minus_perf(a);
+    std::printf("%08x  %s\n", da, opt.files[0].c_str());
+    if (opt.files.size() == 2) {
+      Doc b;
+      if (!load_doc(opt.files[1], &b)) return 2;
+      const srcache::u32 db = digest_minus_perf(b);
+      std::printf("%08x  %s\n", db, opt.files[1].c_str());
+      if (da != db) {
+        std::fprintf(stderr,
+                     "digest mismatch: the deterministic parts of the two "
+                     "documents differ\n");
+        return 1;
+      }
+      std::printf("digests match\n");
+    }
+    return 0;
+  }
+
   print_summary(opt.files[0], a);
 
   bool csv_ok = true;
@@ -367,6 +483,7 @@ int main(int argc, char** argv) {
     print_summary(opt.files[1], b);
     std::printf("\n");
     rc = std::max(rc, compare(opt, a, b));
+    print_speedup(a, b);
   }
   return csv_ok ? rc : 2;
 }
