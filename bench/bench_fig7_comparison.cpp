@@ -4,6 +4,12 @@
 // Paper result: SRC outperforms Bcache5 by 2.8-3.1x and Flashcache5 by
 // 2.3-2.8x; Sel-GC beats S2D with higher I/O amplification but a higher
 // hit ratio.
+//
+// All four schemes run through the sharded engine (run_group_sharded /
+// run_baseline_group_sharded): the same fixed kEngineDomains partition and
+// per-domain seed stream for every scheme, so REPRO_SHARDS/REPRO_THREADS
+// change wall-clock only and every run lands in REPRO_JSON as
+// "<group>/<scheme>".
 #include "harness.hpp"
 
 using namespace srcache;
@@ -22,13 +28,16 @@ int main() {
     double mbps, amp, hit;
   };
   std::vector<Row> rows;
+  const auto name_for = [](workload::TraceGroup g, const char* scheme) {
+    return std::string(workload::to_string(g)) + "/" + scheme;
+  };
 
   for (auto group : {workload::TraceGroup::kWrite, workload::TraceGroup::kMixed,
                      workload::TraceGroup::kRead}) {
     // SRC (defaults: Sel-GC).
     {
-      auto rig = make_src_rig(default_src_config(), spec, k);
-      auto res = run_group(rig->cache.get(), rig->ssd_ptrs(), group, k);
+      auto res = run_group_sharded(default_src_config(), spec, group, k,
+                                   "fig7", 42, name_for(group, "SRC").c_str());
       rows.push_back({group, "SRC", res.throughput_mbps, res.io_amplification,
                       res.hit_ratio});
     }
@@ -36,22 +45,25 @@ int main() {
     {
       src::SrcConfig cfg = default_src_config();
       cfg.gc = src::GcPolicy::kS2D;
-      auto rig = make_src_rig(cfg, spec, k);
-      auto res = run_group(rig->cache.get(), rig->ssd_ptrs(), group, k);
+      auto res = run_group_sharded(cfg, spec, group, k, "fig7", 42,
+                                   name_for(group, "SRC-S2D").c_str());
       rows.push_back({group, "SRC-S2D", res.throughput_mbps,
                       res.io_amplification, res.hit_ratio});
     }
     // Bcache5.
     {
-      auto rig = make_bcache5_rig(spec, k);
-      auto res = run_group(rig->cache.get(), rig->ssd_ptrs(), group, k);
+      auto res = run_baseline_group_sharded(
+          "fig7", name_for(group, "Bcache5"),
+          [&spec](double dk) { return make_bcache5_rig(spec, dk); }, group, k);
       rows.push_back({group, "Bcache5", res.throughput_mbps,
                       res.io_amplification, res.hit_ratio});
     }
     // Flashcache5.
     {
-      auto rig = make_flashcache5_rig(spec, k);
-      auto res = run_group(rig->cache.get(), rig->ssd_ptrs(), group, k);
+      auto res = run_baseline_group_sharded(
+          "fig7", name_for(group, "Flashcache5"),
+          [&spec](double dk) { return make_flashcache5_rig(spec, dk); }, group,
+          k);
       rows.push_back({group, "Flashcache5", res.throughput_mbps,
                       res.io_amplification, res.hit_ratio});
     }

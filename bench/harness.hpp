@@ -14,6 +14,21 @@
 //                       JSON document — see workload/report.hpp.
 //   REPRO_TRACE=<path>  record a Chrome trace-event timeline of the runs
 //                       executed through run_group(SrcRig&, ...).
+//   REPRO_SPAN_SAMPLE=<rate in [0,1]>  head-sample that fraction of measured
+//                       ops into causal op-span trees (obs/span.hpp): the
+//                       sampled ops' full descent — cache lookup, segment
+//                       fill, destage, RAID stripe strategy, per-die NAND
+//                       phases, backend fetch — lands in the REPRO_JSON
+//                       "spans" block and (with REPRO_TRACE) as nested Chrome
+//                       slices with flow arrows. Deterministic per shard
+//                       domain: the merged aggregate is bit-identical across
+//                       REPRO_SHARDS/REPRO_THREADS.
+//   REPRO_SLO_MBPS / REPRO_SLO_READ_P99_MS / REPRO_SLO_WRITE_P99_MS /
+//   REPRO_SLO_MAX_DEGRADED / REPRO_SLO_BUDGET  arm the epoch SLO watchdog
+//                       (obs/slo.hpp) on engine-driven runs: each epoch
+//                       barrier is judged against the targets and the
+//                       verdicts land in the REPRO_JSON "slo" block
+//                       (inspect with tools/repro_report --slo).
 #pragma once
 
 #include <cerrno>
@@ -33,6 +48,9 @@
 #include "flash/sim_ssd.hpp"
 #include "hdd/iscsi_target.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
+#include "obs/slo.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "raid/raid_device.hpp"
 #include "src_cache/src_cache.hpp"
@@ -143,6 +161,29 @@ inline u32 repro_threads() {
   return n;
 }
 
+// Op-span head-sampling rate (REPRO_SPAN_SAMPLE). 0 = tracing off. The draw
+// happens once per measured op in issue order (obs::SpanTracer), so the rate
+// changes only how many ops are recorded, never the simulated outcome.
+inline double repro_span_sample() {
+  static const double r = env_knob("REPRO_SPAN_SAMPLE", 0.0, 0.0, 1.0);
+  return r;
+}
+
+// Epoch SLO watchdog targets (REPRO_SLO_*). Unset targets stay disarmed;
+// policy.any() == false means no watchdog hook is installed at all.
+inline obs::SloPolicy repro_slo_policy() {
+  obs::SloPolicy p;
+  p.min_throughput_mbps = env_knob("REPRO_SLO_MBPS", 0.0, 0.0, 1e9);
+  p.max_read_p99_ms = env_knob("REPRO_SLO_READ_P99_MS", 0.0, 0.0, 1e9);
+  p.max_write_p99_ms = env_knob("REPRO_SLO_WRITE_P99_MS", 0.0, 0.0, 1e9);
+  if (std::getenv("REPRO_SLO_MAX_DEGRADED") != nullptr) {
+    p.max_degraded_domains = static_cast<i32>(
+        env_knob_u32("REPRO_SLO_MAX_DEGRADED", 0, 0, 256));
+  }
+  p.error_budget = env_knob("REPRO_SLO_BUDGET", 0.1, 0.0, 1.0);
+  return p;
+}
+
 // Knob-interaction validation, run once from print_header() before any
 // experiment starts. Each individual knob already fails fast on a malformed
 // value (env_knob); this catches combinations that would silently produce a
@@ -197,17 +238,33 @@ inline void validate_repro_knobs() {
                  threads, shards);
     std::exit(2);
   }
+  // Force the observability knobs through strict parsing up front: a typo'd
+  // REPRO_SPAN_SAMPLE or REPRO_SLO_* must abort before any experiment runs,
+  // not silently trace nothing.
+  (void)repro_span_sample();
+  (void)repro_slo_policy();
 }
 
 // Writes a recorded TraceLog to REPRO_TRACE as Chrome trace-event JSON.
-inline void write_chrome_trace(obs::TraceLog& log) {
-  const std::string json = log.to_chrome_json();
+// The two-argument form merges the event timeline with the sampled op-span
+// trees (obs::combined_chrome_json) into one document; either input may be
+// null.
+inline void write_chrome_trace_json(const std::string& json) {
   std::FILE* f = std::fopen(repro_trace_path(), "w");
   if (f == nullptr ||
       std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
     std::fprintf(stderr, "REPRO_TRACE: cannot write %s\n", repro_trace_path());
   }
   if (f != nullptr) std::fclose(f);
+}
+
+inline void write_chrome_trace(obs::TraceLog& log) {
+  write_chrome_trace_json(log.to_chrome_json());
+}
+
+inline void write_chrome_trace(const obs::TraceLog* log,
+                               const obs::SpanTracer* spans) {
+  write_chrome_trace_json(obs::combined_chrome_json(log, spans));
 }
 
 inline workload::ReproReport& json_report() {
@@ -275,16 +332,21 @@ struct SrcRig {
   std::unique_ptr<hdd::IscsiTarget> primary;
   std::unique_ptr<src::SrcCache> cache;
   // Registry over the whole stack ("src.*", "ssd.<i>.*", "hdd.*"); wired by
-  // make_src_rig. Event trace, allocated on demand by enable_tracing().
+  // make_src_rig. Event trace and op-span tracer, allocated on demand by
+  // enable_tracing() / enable_spans().
   obs::MetricsRegistry registry;
   std::unique_ptr<obs::TraceLog> trace;
+  std::unique_ptr<obs::SpanTracer> spans;
 
   [[nodiscard]] std::vector<blockdev::BlockDevice*> ssd_ptrs() const {
     return borrow_ssds(ssds);
   }
 };
 
-// Attaches a TraceLog to every layer of the rig (idempotent).
+// Attaches a TraceLog to every layer of the rig (idempotent). The log drops
+// the newest events once full instead of overwriting old ones; the drop
+// count is exported as the "obs.trace.dropped" gauge so a truncated timeline
+// is visible in the metrics delta, never silent.
 inline obs::TraceLog& enable_tracing(SrcRig& rig, size_t capacity = 1 << 16) {
   if (!rig.trace) {
     rig.trace = std::make_unique<obs::TraceLog>(capacity);
@@ -293,8 +355,26 @@ inline obs::TraceLog& enable_tracing(SrcRig& rig, size_t capacity = 1 << 16) {
     for (size_t i = 0; i < rig.ssds.size(); ++i)
       rig.ssds[i]->set_trace(rig.trace.get(),
                              obs::kTrackSsdBase + static_cast<u32>(i));
+    obs::TraceLog* log = rig.trace.get();
+    obs::Scope(rig.registry, "obs").gauge_fn("trace.dropped", [log] {
+      return static_cast<double>(log->dropped());
+    });
   }
   return *rig.trace;
+}
+
+// Attaches an op-span tracer to every layer of the rig (idempotent): the
+// cache contributes src.*/backend.* child spans, each SSD its ssd.*/nand.*
+// descent tagged with its array index. The caller wires the tracer into
+// RunConfig::spans so the closed loop opens the per-op roots.
+inline obs::SpanTracer& enable_spans(SrcRig& rig, u64 seed, double rate) {
+  if (!rig.spans) {
+    rig.spans = std::make_unique<obs::SpanTracer>(seed, rate);
+    rig.cache->set_span(rig.spans.get());
+    for (size_t i = 0; i < rig.ssds.size(); ++i)
+      rig.ssds[i]->set_span(rig.spans.get(), static_cast<u32>(i));
+  }
+  return *rig.spans;
 }
 
 inline std::unique_ptr<hdd::IscsiTarget> make_primary(double k) {
@@ -351,6 +431,9 @@ struct BaselineRig {
   std::unique_ptr<raid::RaidDevice> raid5;
   std::unique_ptr<hdd::IscsiTarget> primary;
   std::unique_ptr<cache::CacheDevice> cache;
+  // Op-span tracer (REPRO_SPAN_SAMPLE): the RAID layer contributes stripe-
+  // strategy children, the SSDs their NAND descent.
+  std::unique_ptr<obs::SpanTracer> spans;
 
   [[nodiscard]] std::vector<blockdev::BlockDevice*> ssd_ptrs() const {
     return borrow_ssds(ssds);
@@ -433,8 +516,10 @@ inline workload::RunResult run_group(cache::CacheDevice* cache,
   return runner.run(set.generators(), rc);
 }
 
-// SRC-rig overload: also measures the metrics registry across the run and,
-// with REPRO_TRACE set, records and writes a Chrome trace of the run.
+// SRC-rig overload: also measures the metrics registry and the write-
+// provenance ledger across the run and, with REPRO_TRACE set, records and
+// writes a Chrome trace of the run (merged with op-span trees when
+// REPRO_SPAN_SAMPLE is on).
 inline workload::RunResult run_group(SrcRig& rig, workload::TraceGroup group,
                                      double k, u64 seed = 42) {
   const Geometry geo = Geometry::at(k);
@@ -448,12 +533,20 @@ inline workload::RunResult run_group(SrcRig& rig, workload::TraceGroup group,
   rc.warmup_bytes = 2 * 3 * geo.region_bytes_per_ssd;
   rc.registry = &rig.registry;
   rc.timeseries_interval = repro_timeseries_interval();
+  rc.provenance = &rig.cache->provenance();
+  if (repro_span_sample() > 0.0) {
+    // Span-tracer seed derived (not equal to) the trace seed, so the
+    // sampling stream never aliases the workload's own RNG streams.
+    rc.spans = &enable_spans(rig, common::SplitMix64(seed).next(),
+                             repro_span_sample());
+  }
   if (repro_trace_path() != nullptr) {
     rc.trace = &enable_tracing(rig);
     rc.trace_track = obs::kTrackApp;
   }
   workload::RunResult res = runner.run(set.generators(), rc);
-  if (repro_trace_path() != nullptr) write_chrome_trace(*rig.trace);
+  if (repro_trace_path() != nullptr)
+    write_chrome_trace(rig.trace.get(), rig.spans.get());
   return res;
 }
 
@@ -475,72 +568,70 @@ struct EngineDomainRig {
   workload::TraceSet set;
 };
 
-// Sharded equivalent of run_group(SrcRig&, ...): partitions the group into
-// kEngineDomains independent domains — each a full SRC stack at scale
-// k/kEngineDomains replaying its own seed-derived trace set over its own
-// footprint slice — and drives them through engine::ParallelEngine under
-// REPRO_SHARDS/REPRO_THREADS. Returns the deterministically merged result;
-// wall-clock numbers go to the REPRO_JSON "perf" section and stdout.
-inline workload::RunResult run_group_sharded(const src::SrcConfig& overrides,
-                                             const flash::SsdSpec& base_spec,
-                                             workload::TraceGroup group,
-                                             double k, const char* bench,
-                                             u64 seed = 42) {
-  const double dk = k / kEngineDomains;
-  const bool want_trace = repro_trace_path() != nullptr;
-  // Keeps domain 0's rig (the only traced one) alive past the engine run so
-  // the trace can be written afterwards.
-  std::shared_ptr<EngineDomainRig> traced;
+// Per-domain seed stream: expand the group seed so domains replay distinct
+// (but fixed) trace sets regardless of build order or lane placement.
+inline u64 domain_seed(u64 seed, u32 index) {
+  common::SplitMix64 seq(seed);
+  u64 dseed = 0;
+  for (u32 i = 0; i <= index; ++i) dseed = seq.next();
+  return dseed;
+}
 
-  const auto factory = [&overrides, &base_spec, group, dk, seed, want_trace,
-                        &traced](u32 index, u32 count) {
-    auto holder = std::make_shared<EngineDomainRig>();
-    holder->rig = make_src_rig(overrides, base_spec, dk);
-    const Geometry geo = holder->rig->geo;
-    // Per-domain seed stream: expand the group seed so domains replay
-    // distinct (but fixed) trace sets regardless of build order.
-    common::SplitMix64 seq(seed);
-    u64 dseed = 0;
-    for (u32 i = 0; i <= index; ++i) dseed = seq.next();
-    holder->set =
-        workload::make_trace_set(group, geo.group_footprint_bytes, dseed);
-
-    engine::DomainSetup s;
-    s.cache = holder->rig->cache.get();
-    s.ssds = holder->rig->ssd_ptrs();
-    s.gens = holder->set.generators();
-    s.cfg.threads_per_gen = 4;
-    s.cfg.iodepth = 4;
-    s.cfg.duration = run_duration();
-    s.cfg.warmup_bytes = 2 * 3 * geo.region_bytes_per_ssd;
-    s.cfg.registry = &holder->rig->registry;
-    s.cfg.timeseries_interval = repro_timeseries_interval();
-    if (want_trace && index == 0) {
-      // One domain's worth of timeline is what a Chrome trace can usefully
-      // show; domain 0 is the deterministic choice.
-      s.cfg.trace = &enable_tracing(*holder->rig);
-      s.cfg.trace_track = obs::kTrackApp;
-      traced = holder;
-    }
-    (void)count;
-    s.owned = holder;
-    return s;
-  };
-
+// Shared tail of every sharded bench run: engine configuration from the
+// REPRO_SHARDS/REPRO_THREADS knobs, the epoch SLO watchdog when any
+// REPRO_SLO_* target is armed, the [engine] stdout line, the REPRO_JSON
+// "perf" record, and the merged-run report. The watchdog hook is a
+// deterministic function of quiescent index-ordered domain state (exact op/
+// byte sums, bucket-exact histogram merges), so arming it never perturbs the
+// bit-identity contract of the run itself.
+inline workload::RunResult run_engine_sharded(
+    const char* bench, const std::string& name, u32 num_domains,
+    const engine::DomainFactory& factory) {
   engine::EngineConfig ecfg;
   ecfg.shards = repro_shards();
   ecfg.threads = repro_threads();
   engine::ParallelEngine eng(ecfg);
-  engine::EngineResult er = eng.run(kEngineDomains, factory);
 
-  if (traced && traced->rig->trace) write_chrome_trace(*traced->rig->trace);
+  const obs::SloPolicy policy = repro_slo_policy();
+  std::shared_ptr<obs::SloWatchdog> watchdog;
+  if (policy.any()) {
+    watchdog = std::make_shared<obs::SloWatchdog>(policy);
+    eng.add_epoch_hook([watchdog](const engine::EpochView& v) {
+      u64 ops = 0;
+      u64 bytes = 0;
+      common::Histogram reads;
+      common::Histogram writes;
+      u32 degraded = 0;
+      for (const auto& dom : *v.domains) {
+        ops += dom->ops();
+        bytes += dom->bytes();
+        reads.merge(dom->latency().reads());
+        writes.merge(dom->latency().writes());
+        bool any_failed = false;
+        for (const blockdev::BlockDevice* d : dom->ssds())
+          any_failed = any_failed || d->failed();
+        if (any_failed) ++degraded;
+      }
+      watchdog->observe_epoch(v.rel_end, ops, bytes, reads, writes, degraded);
+    });
+  }
 
-  const std::string name = workload::to_string(group);
+  engine::EngineResult er = eng.run(num_domains, factory);
+  // Assigned on the merged result (not merged per-domain): the verdicts are
+  // properties of the whole fleet at each barrier.
+  if (watchdog) er.merged.slo = watchdog->outcome();
+
   std::printf(
       "[engine] %s: domains=%u shards=%u threads=%u epochs=%u "
       "wall=%.2fs sim-ops/s=%.0f\n",
       name.c_str(), er.domains, er.shards, er.threads, er.epochs,
       er.wall_seconds, er.sim_ops_per_sec);
+  if (watchdog && er.merged.slo.active) {
+    std::printf("[slo] %s: epochs=%u violations=%u burn=%.2f %s\n",
+                name.c_str(), er.merged.slo.epochs, er.merged.slo.violations,
+                er.merged.slo.burn_rate,
+                er.merged.slo.breached ? "BREACHED" : "ok");
+  }
 
   if (repro_json_path() != nullptr) {
     json_report().set_perf_config(er.shards, er.threads);
@@ -558,6 +649,125 @@ inline workload::RunResult run_group_sharded(const src::SrcConfig& overrides,
   return std::move(er.merged);
 }
 
+// Sharded equivalent of run_group(SrcRig&, ...): partitions the group into
+// kEngineDomains independent domains — each a full SRC stack at scale
+// k/kEngineDomains replaying its own seed-derived trace set over its own
+// footprint slice — and drives them through engine::ParallelEngine under
+// REPRO_SHARDS/REPRO_THREADS. The write-provenance ledger is always wired;
+// op-span tracing follows REPRO_SPAN_SAMPLE with a per-domain tracer (seeded
+// from the domain seed, merged exactly). Returns the deterministically
+// merged result; wall-clock numbers go to the REPRO_JSON "perf" section and
+// stdout. `name_override` labels the run in reports (default: the group
+// name), letting one bench report several schemes over the same group.
+inline workload::RunResult run_group_sharded(const src::SrcConfig& overrides,
+                                             const flash::SsdSpec& base_spec,
+                                             workload::TraceGroup group,
+                                             double k, const char* bench,
+                                             u64 seed = 42,
+                                             const char* name_override =
+                                                 nullptr) {
+  const double dk = k / kEngineDomains;
+  const bool want_trace = repro_trace_path() != nullptr;
+  // Keeps domain 0's rig (the only traced one) alive past the engine run so
+  // the trace can be written afterwards.
+  std::shared_ptr<EngineDomainRig> traced;
+
+  const auto factory = [&overrides, &base_spec, group, dk, seed, want_trace,
+                        &traced](u32 index, u32 count) {
+    auto holder = std::make_shared<EngineDomainRig>();
+    holder->rig = make_src_rig(overrides, base_spec, dk);
+    const Geometry geo = holder->rig->geo;
+    const u64 dseed = domain_seed(seed, index);
+    holder->set =
+        workload::make_trace_set(group, geo.group_footprint_bytes, dseed);
+
+    engine::DomainSetup s;
+    s.cache = holder->rig->cache.get();
+    s.ssds = holder->rig->ssd_ptrs();
+    s.gens = holder->set.generators();
+    s.cfg.threads_per_gen = 4;
+    s.cfg.iodepth = 4;
+    s.cfg.duration = run_duration();
+    s.cfg.warmup_bytes = 2 * 3 * geo.region_bytes_per_ssd;
+    s.cfg.registry = &holder->rig->registry;
+    s.cfg.timeseries_interval = repro_timeseries_interval();
+    s.cfg.provenance = &holder->rig->cache->provenance();
+    if (repro_span_sample() > 0.0) {
+      s.cfg.spans = &enable_spans(*holder->rig,
+                                  common::SplitMix64(dseed).next(),
+                                  repro_span_sample());
+    }
+    if (want_trace && index == 0) {
+      // One domain's worth of timeline is what a Chrome trace can usefully
+      // show; domain 0 is the deterministic choice.
+      s.cfg.trace = &enable_tracing(*holder->rig);
+      s.cfg.trace_track = obs::kTrackApp;
+      traced = holder;
+    }
+    (void)count;
+    s.owned = holder;
+    return s;
+  };
+
+  const std::string name =
+      name_override != nullptr ? name_override : workload::to_string(group);
+  workload::RunResult res =
+      run_engine_sharded(bench, name, kEngineDomains, factory);
+  if (traced)
+    write_chrome_trace(traced->rig->trace.get(), traced->rig->spans.get());
+  return res;
+}
+
+// One engine domain's baseline rig (Bcache5/Flashcache5 over RAID), owned
+// via DomainSetup::owned.
+struct BaselineDomainRig {
+  std::unique_ptr<BaselineRig> rig;
+  workload::TraceSet set;
+};
+
+// Sharded replay for the baseline schemes: same fixed kEngineDomains
+// partition and per-domain seed stream as run_group_sharded, with
+// `make_rig(dk)` building each domain's cache stack. With REPRO_SPAN_SAMPLE
+// on, each domain's RAID layer and SSDs contribute spans under the op roots
+// (baselines have no provenance ledger — that is an SRC-cache property).
+template <typename MakeRig>
+inline workload::RunResult run_baseline_group_sharded(
+    const char* bench, const std::string& name, MakeRig make_rig,
+    workload::TraceGroup group, double k, u64 seed = 42) {
+  const double dk = k / kEngineDomains;
+  const auto factory = [&make_rig, group, dk, seed](u32 index, u32 count) {
+    auto holder = std::make_shared<BaselineDomainRig>();
+    holder->rig = make_rig(dk);
+    const Geometry geo = holder->rig->geo;
+    const u64 dseed = domain_seed(seed, index);
+    holder->set =
+        workload::make_trace_set(group, geo.group_footprint_bytes, dseed);
+
+    engine::DomainSetup s;
+    s.cache = holder->rig->cache.get();
+    s.ssds = holder->rig->ssd_ptrs();
+    s.gens = holder->set.generators();
+    s.cfg.threads_per_gen = 4;
+    s.cfg.iodepth = 4;
+    s.cfg.duration = run_duration();
+    s.cfg.warmup_bytes = 2 * 3 * geo.region_bytes_per_ssd;
+    s.cfg.timeseries_interval = repro_timeseries_interval();
+    if (repro_span_sample() > 0.0) {
+      holder->rig->spans = std::make_unique<obs::SpanTracer>(
+          common::SplitMix64(dseed).next(), repro_span_sample());
+      holder->rig->raid5->set_span(holder->rig->spans.get());
+      for (size_t i = 0; i < holder->rig->ssds.size(); ++i)
+        holder->rig->ssds[i]->set_span(holder->rig->spans.get(),
+                                       static_cast<u32>(i));
+      s.cfg.spans = holder->rig->spans.get();
+    }
+    (void)count;
+    s.owned = holder;
+    return s;
+  };
+  return run_engine_sharded(bench, name, kEngineDomains, factory);
+}
+
 inline void print_header(const char* experiment, const char* paper_ref) {
   validate_repro_knobs();
   std::printf("=== %s ===\n", experiment);
@@ -567,6 +777,9 @@ inline void print_header(const char* experiment, const char* paper_ref) {
   if (repro_shards() > 1) {
     std::printf("shards=%u (REPRO_SHARDS), threads=%u (REPRO_THREADS, 0=auto)\n",
                 repro_shards(), repro_threads());
+  }
+  if (repro_span_sample() > 0.0) {
+    std::printf("span_sample=%.3g (REPRO_SPAN_SAMPLE)\n", repro_span_sample());
   }
   std::printf("\n");
 }

@@ -203,6 +203,8 @@ workload::RunResult merge_results(
 
     m.latency.merge_from(p.latency);
     m.metrics.merge_add(p.metrics);
+    m.provenance.merge_add(p.provenance);
+    m.spans.merge_add(p.spans);
 
     m.fault.active = m.fault.active || p.fault.active;
     m.fault.events_fired += p.fault.events_fired;

@@ -92,6 +92,11 @@ class ShardDomain {
     return loop_->next_event() - loop_->window_start();
   }
   [[nodiscard]] cache::CacheDevice* cache() const { return setup_.cache; }
+  // Cumulative measured-window latency of this domain so far — the input an
+  // epoch SLO watchdog deltas at barriers.
+  [[nodiscard]] const obs::LatencyRecorder& latency() const {
+    return loop_->latency();
+  }
   // The domain's cache-layer devices — what a fault-plan hook fails, heals
   // or degrades at a barrier.
   [[nodiscard]] const std::vector<blockdev::BlockDevice*>& ssds() const {

@@ -71,6 +71,16 @@ IoResult SimSsd::read(SimTime now, u64 lba, u32 n, std::span<u64> tags_out) {
                                            blocks_to_bytes(n));
   stats_.read_ops++;
   stats_.read_blocks += n;
+  if (span_ != nullptr && span_->sampling()) {
+    const u32 s = span_->begin_span("ssd.read", now, span_dev_);
+    if (s != obs::kNoSpan) {
+      if (mapped > 0) {
+        const u32 ns = span_->begin_span("nand.read", t_ctrl, span_dev_);
+        if (ns != obs::kNoSpan) span_->end_span(ns, t_nand, mapped);
+      }
+      span_->end_span(s, done, n);
+    }
+  }
   // A latent sector error is reported only after the device has attempted
   // the read (ECC retries), so timing is charged before failing.
   if (media_.affects(lba, n)) return {done, ErrorCode::kMediaError};
@@ -91,6 +101,16 @@ IoResult SimSsd::write(SimTime now, u64 lba, u32 n, std::span<const u64> tags) {
 
   if (trace_ != nullptr && (ops.gc_reads > 0 || ops.erases > 0))
     trace_->complete("ssd.gc", trace_track_, t_iface, nand_done, ops.erases);
+  if (span_ != nullptr && span_->sampling()) {
+    const u32 s = span_->begin_span("ssd.write", now, span_dev_);
+    if (s != obs::kNoSpan) {
+      if (ops.programs > 0) {
+        const u32 ns = span_->begin_span("nand.program", t_iface, span_dev_);
+        if (ns != obs::kNoSpan) span_->end_span(ns, nand_done, ops.programs);
+      }
+      span_->end_span(s, done, n);
+    }
+  }
   media_.on_write(lba, n);
   content_.write(lba, n, tags);
   stats_.write_ops++;

@@ -23,6 +23,7 @@
 #include "flash/ftl.hpp"
 #include "flash/ssd_specs.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "sim/timeline.hpp"
 
@@ -81,6 +82,14 @@ class SimSsd final : public BlockDevice {
     trace_track_ = track;
   }
 
+  // Attaches an op-span tracer (nullptr detaches). When the ambient op is
+  // sampled, reads/writes contribute "ssd.read"/"ssd.write" spans with
+  // NAND-phase children, labelled with this device's array index.
+  void set_span(obs::SpanTracer* tracer, u32 dev) {
+    span_ = tracer;
+    span_dev_ = dev;
+  }
+
  private:
   IoResult check(SimTime now, u64 lba, u64 n) const;
   // Applies FTL-reported NAND work to the die servers; returns completion.
@@ -106,6 +115,8 @@ class SimSsd final : public BlockDevice {
 
   obs::TraceLog* trace_ = nullptr;
   u32 trace_track_ = 0;
+  obs::SpanTracer* span_ = nullptr;
+  u32 span_dev_ = 0;
 };
 
 }  // namespace srcache::flash

@@ -1,0 +1,139 @@
+#include "obs/provenance.hpp"
+
+#include "obs/json.hpp"
+
+namespace srcache::obs {
+
+const char* to_string(WriteCause c) {
+  switch (c) {
+    case WriteCause::kUserWrite: return "user_write";
+    case WriteCause::kMissFill: return "miss_fill";
+    case WriteCause::kGcRewrite: return "gc_rewrite";
+    case WriteCause::kParity: return "parity";
+    case WriteCause::kRepairRemap: return "repair_remap";
+    case WriteCause::kDestage: return "destage";
+    case WriteCause::kQuotaShed: return "quota_shed";
+  }
+  return "?";
+}
+
+ProvenanceLedger ProvenanceLedger::delta_since(
+    const ProvenanceLedger& earlier) const {
+  ProvenanceLedger d;
+  for (const auto& [key, cell] : cells_) {
+    Cell out{};
+    bool any = false;
+    const auto it = earlier.cells_.find(key);
+    for (size_t c = 0; c < kNumWriteCauses; ++c) {
+      const u64 before = it != earlier.cells_.end() ? it->second[c] : 0;
+      out[c] = cell[c] - before;
+      any = any || out[c] != 0;
+    }
+    if (any) d.cells_[key] = out;
+  }
+  return d;
+}
+
+void ProvenanceLedger::merge_add(const ProvenanceLedger& other) {
+  for (const auto& [key, cell] : other.cells_) {
+    auto [it, inserted] = cells_.try_emplace(key);
+    if (inserted) it->second.fill(0);
+    for (size_t c = 0; c < kNumWriteCauses; ++c) it->second[c] += cell[c];
+  }
+}
+
+namespace {
+u64 cell_total(const ProvenanceLedger::Cell& cell) {
+  u64 t = 0;
+  for (u64 v : cell) t += v;
+  return t;
+}
+}  // namespace
+
+u64 ProvenanceLedger::flash_bytes() const {
+  u64 t = 0;
+  for (const auto& [key, cell] : cells_)
+    if (key.first != kPrimaryDevice) t += cell_total(cell);
+  return t;
+}
+
+u64 ProvenanceLedger::primary_bytes() const {
+  return device_bytes(kPrimaryDevice);
+}
+
+u64 ProvenanceLedger::device_bytes(u32 device) const {
+  u64 t = 0;
+  for (const auto& [key, cell] : cells_)
+    if (key.first == device) t += cell_total(cell);
+  return t;
+}
+
+u64 ProvenanceLedger::tenant_bytes(u16 tenant) const {
+  u64 t = 0;
+  for (const auto& [key, cell] : cells_)
+    if (key.second == tenant) t += cell_total(cell);
+  return t;
+}
+
+u64 ProvenanceLedger::cause_bytes(WriteCause c) const {
+  u64 t = 0;
+  for (const auto& [key, cell] : cells_) {
+    (void)key;
+    t += cell[static_cast<size_t>(c)];
+  }
+  return t;
+}
+
+std::string ProvenanceLedger::to_json() const {
+  // Re-keyed ordered aggregations so the output groups naturally.
+  std::map<u32, Cell> by_device;
+  std::map<u16, Cell> by_tenant;
+  Cell by_cause{};
+  for (const auto& [key, cell] : cells_) {
+    auto [dit, dnew] = by_device.try_emplace(key.first);
+    if (dnew) dit->second.fill(0);
+    auto [tit, tnew] = by_tenant.try_emplace(key.second);
+    if (tnew) tit->second.fill(0);
+    for (size_t c = 0; c < kNumWriteCauses; ++c) {
+      dit->second[c] += cell[c];
+      tit->second[c] += cell[c];
+      by_cause[c] += cell[c];
+    }
+  }
+
+  JsonWriter w;
+  const auto causes = [&w](const Cell& cell) {
+    w.key("by_cause").begin_object();
+    for (size_t c = 0; c < kNumWriteCauses; ++c)
+      if (cell[c] != 0) w.kv(to_string(static_cast<WriteCause>(c)), cell[c]);
+    w.end_object();
+  };
+  w.begin_object();
+  w.kv("flash_bytes", flash_bytes());
+  w.kv("primary_bytes", primary_bytes());
+  causes(by_cause);
+  w.key("devices").begin_array();
+  for (const auto& [dev, cell] : by_device) {
+    w.begin_object();
+    if (dev == kPrimaryDevice) w.kv("device", "primary");
+    else w.kv("device", static_cast<u64>(dev));
+    w.kv("bytes", cell_total(cell));
+    causes(cell);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("tenants").begin_array();
+  for (const auto& [tenant, cell] : by_tenant) {
+    w.begin_object();
+    if (tenant == kSharedTenant) w.kv("tenant", "shared");
+    else w.kv("tenant", static_cast<u64>(tenant));
+    w.kv("bytes", cell_total(cell));
+    causes(cell);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace srcache::obs

@@ -1,0 +1,67 @@
+#include "obs/slo.hpp"
+
+namespace srcache::obs {
+
+void SloWatchdog::observe_epoch(sim::SimTime rel_end, u64 cum_ops,
+                                u64 cum_bytes,
+                                const common::Histogram& cum_read_lat,
+                                const common::Histogram& cum_write_lat,
+                                u32 degraded_domains) {
+  SloVerdict v;
+  v.epoch = static_cast<u32>(verdicts_.size());
+  v.seconds = sim::to_seconds(rel_end - prev_rel_);
+  v.ops = cum_ops - prev_ops_;
+  v.bytes = cum_bytes - prev_bytes_;
+  v.throughput_mbps =
+      v.seconds > 0.0 ? static_cast<double>(v.bytes) / 1e6 / v.seconds : 0.0;
+  const common::Histogram reads = cum_read_lat.minus(prev_read_);
+  const common::Histogram writes = cum_write_lat.minus(prev_write_);
+  v.read_p99_ms = reads.count() > 0 ? reads.percentile(99.0) / 1e6 : 0.0;
+  v.write_p99_ms = writes.count() > 0 ? writes.percentile(99.0) / 1e6 : 0.0;
+  v.degraded_domains = degraded_domains;
+
+  const auto violate = [&v](const char* what) {
+    v.ok = false;
+    if (!v.violated.empty()) v.violated += ",";
+    v.violated += what;
+  };
+  if (policy_.min_throughput_mbps > 0.0 &&
+      v.throughput_mbps < policy_.min_throughput_mbps)
+    violate("throughput");
+  if (policy_.max_read_p99_ms > 0.0 && v.read_p99_ms > policy_.max_read_p99_ms)
+    violate("read_p99");
+  if (policy_.max_write_p99_ms > 0.0 &&
+      v.write_p99_ms > policy_.max_write_p99_ms)
+    violate("write_p99");
+  if (policy_.max_degraded_domains >= 0 &&
+      v.degraded_domains > static_cast<u32>(policy_.max_degraded_domains))
+    violate("degraded");
+
+  verdicts_.push_back(std::move(v));
+  prev_rel_ = rel_end;
+  prev_ops_ = cum_ops;
+  prev_bytes_ = cum_bytes;
+  prev_read_ = cum_read_lat;
+  prev_write_ = cum_write_lat;
+}
+
+SloOutcome SloWatchdog::outcome() const {
+  SloOutcome o;
+  o.active = true;
+  o.policy = policy_;
+  o.epochs = static_cast<u32>(verdicts_.size());
+  for (const SloVerdict& v : verdicts_) {
+    if (!v.ok) ++o.violations;
+    if (v.degraded_domains > 0) ++o.degraded_epochs;
+  }
+  if (o.epochs > 0 && policy_.error_budget > 0.0) {
+    o.burn_rate = (static_cast<double>(o.violations) /
+                   static_cast<double>(o.epochs)) /
+                  policy_.error_budget;
+  }
+  o.breached = o.burn_rate > 1.0;
+  o.verdicts = verdicts_;
+  return o;
+}
+
+}  // namespace srcache::obs

@@ -6,13 +6,19 @@
 
 namespace srcache::obs {
 
-TraceLog::TraceLog(size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
+TraceLog::TraceLog(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
 
 void TraceLog::push(const TraceEvent& e) {
-  ring_[next_] = e;
-  next_ = (next_ + 1) % ring_.size();
-  if (count_ < ring_.size()) ++count_;
   ++total_;
+  // Drop-newest: the retained prefix stays contiguous from the start of the
+  // run, and the loss is counted instead of silently rewriting history.
+  if (ring_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  ring_.push_back(e);
 }
 
 void TraceLog::complete(const char* name, u32 track, SimTime start,
@@ -37,25 +43,16 @@ void TraceLog::instant(const char* name, u32 track, SimTime ts, u64 arg) {
   push(e);
 }
 
-std::vector<TraceEvent> TraceLog::events() const {
-  std::vector<TraceEvent> out;
-  out.reserve(count_);
-  const size_t oldest = count_ < ring_.size() ? 0 : next_;
-  for (size_t i = 0; i < count_; ++i)
-    out.push_back(ring_[(oldest + i) % ring_.size()]);
-  return out;
-}
+std::vector<TraceEvent> TraceLog::events() const { return ring_; }
 
-std::string TraceLog::to_chrome_json() const {
+void TraceLog::emit_chrome_events(JsonWriter& w) const {
   std::vector<TraceEvent> evs = events();
-  // The ring is append-ordered per emitter but emitters interleave; a stable
-  // sort by ts makes every track chronological as viewers expect.
+  // The buffer is append-ordered per emitter but emitters interleave; a
+  // stable sort by ts makes every track chronological as viewers expect.
   std::stable_sort(evs.begin(), evs.end(),
                    [](const TraceEvent& a, const TraceEvent& b) {
                      return a.ts < b.ts;
                    });
-  JsonWriter w;
-  w.begin_array();
   for (const TraceEvent& e : evs) {
     w.begin_object();
     w.kv("name", e.name);
@@ -68,14 +65,20 @@ std::string TraceLog::to_chrome_json() const {
     w.key("args").begin_object().kv("v", e.arg).end_object();
     w.end_object();
   }
+}
+
+std::string TraceLog::to_chrome_json() const {
+  JsonWriter w;
+  w.begin_array();
+  emit_chrome_events(w);
   w.end_array();
   return w.take();
 }
 
 void TraceLog::clear() {
-  next_ = 0;
-  count_ = 0;
+  ring_.clear();
   total_ = 0;
+  dropped_ = 0;
 }
 
 }  // namespace srcache::obs

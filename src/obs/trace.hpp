@@ -6,7 +6,8 @@
 // Tracing is opt-in: components hold a TraceLog* that defaults to nullptr,
 // so an untraced run pays one branch per would-be event. Event names must be
 // string literals (static lifetime); recording never allocates — when the
-// ring is full the oldest events are overwritten and counted as dropped.
+// buffer is full new events are dropped (the retained prefix stays intact)
+// and counted, surfaced as the `obs.trace.dropped` gauge.
 #pragma once
 
 #include <string>
@@ -16,6 +17,8 @@
 #include "sim/time.hpp"
 
 namespace srcache::obs {
+
+class JsonWriter;
 
 using sim::SimTime;
 
@@ -47,29 +50,32 @@ class TraceLog {
   // Point event.
   void instant(const char* name, u32 track, SimTime ts, u64 arg = 0);
 
-  [[nodiscard]] size_t capacity() const { return ring_.size(); }
-  [[nodiscard]] size_t size() const { return count_; }
-  // Events that were overwritten because the ring was full.
-  [[nodiscard]] u64 dropped() const { return total_ - count_; }
+  [[nodiscard]] size_t capacity() const { return capacity_; }
+  [[nodiscard]] size_t size() const { return ring_.size(); }
+  // Events not retained because the buffer was full.
+  [[nodiscard]] u64 dropped() const { return dropped_; }
   [[nodiscard]] u64 total_recorded() const { return total_; }
 
-  // Retained events, oldest first (ring order).
+  // Retained events, oldest first.
   [[nodiscard]] std::vector<TraceEvent> events() const;
 
   // Chrome trace-event "JSON array format": [{"name","ph","ts","pid","tid",
   // ("dur"|"s"),"args":{"v":arg}},...] sorted by ts (so each track is
   // chronological), ts/dur in microseconds as the format requires.
   [[nodiscard]] std::string to_chrome_json() const;
+  // The same events written into an already-open JSON array (lets callers
+  // combine several event sources into one Chrome document).
+  void emit_chrome_events(JsonWriter& w) const;
 
   void clear();
 
  private:
   void push(const TraceEvent& e);
 
-  std::vector<TraceEvent> ring_;
-  size_t next_ = 0;   // slot the next event lands in
-  size_t count_ = 0;  // retained (<= capacity)
-  u64 total_ = 0;     // ever recorded
+  size_t capacity_;
+  std::vector<TraceEvent> ring_;  // retained prefix, append-ordered
+  u64 total_ = 0;                 // ever recorded
+  u64 dropped_ = 0;               // recorded while full
 };
 
 }  // namespace srcache::obs

@@ -144,6 +144,13 @@ SimTime for_each_run(const std::vector<Cell>& cells, SimTime now, Fn&& fn) {
 
 IoResult RaidDevice::read(SimTime now, u64 lba, u32 n, std::span<u64> tags_out) {
   if (lba + n > capacity_blocks_) return {now, ErrorCode::kInvalidArgument};
+  const u32 sp = (span_ != nullptr && span_->sampling())
+                     ? span_->begin_span("raid.read", now)
+                     : obs::kNoSpan;
+  auto finish = [&](IoResult r) {
+    if (sp != obs::kNoSpan) span_->end_span(sp, r.done, n);
+    return r;
+  };
   std::vector<u64> scratch;
   if (tags_out.empty()) {
     scratch.assign(n, 0);
@@ -180,23 +187,36 @@ IoResult RaidDevice::read(SimTime now, u64 lba, u32 n, std::span<u64> tags_out) 
     stats_.read_blocks += cnt;
     return r.done;
   });
-  if (err != ErrorCode::kOk) return {now, err};
+  if (err != ErrorCode::kOk) return finish({now, err});
 
   if (any_dead) {
-    if (cfg_.level == RaidLevel::kRaid0) return {now, ErrorCode::kDeviceFailed};
+    if (cfg_.level == RaidLevel::kRaid0)
+      return finish({now, ErrorCode::kDeviceFailed});
+    const u32 rsp = sp != obs::kNoSpan
+                        ? span_->begin_span("raid.reconstruct", now)
+                        : obs::kNoSpan;
+    u64 rebuilt = 0;
     for (u32 i = 0; i < n; ++i) {
       const Loc loc = locate(lba + i);
       if (!devs_[loc.dev]->failed()) continue;
-      if (cfg_.level == RaidLevel::kRaid1) return {now, ErrorCode::kDeviceFailed};
+      if (cfg_.level == RaidLevel::kRaid1) {
+        if (rsp != obs::kNoSpan) span_->end_span(rsp, now, rebuilt);
+        return finish({now, ErrorCode::kDeviceFailed});
+      }
       SimTime t = now;
       auto rec = reconstruct_block(now, loc.dev, loc.off, &t);
-      if (!rec.is_ok()) return {now, rec.code()};
+      if (!rec.is_ok()) {
+        if (rsp != obs::kNoSpan) span_->end_span(rsp, t, rebuilt);
+        return finish({now, rec.code()});
+      }
       tags_out[i] = rec.value();
       rstats_.degraded_reads++;
+      ++rebuilt;
       done = std::max(done, t);
     }
+    if (rsp != obs::kNoSpan) span_->end_span(rsp, done, rebuilt);
   }
-  return {done, ErrorCode::kOk};
+  return finish({done, ErrorCode::kOk});
 }
 
 Result<u64> RaidDevice::reconstruct_block(SimTime now, size_t dead_dev, u64 off,
@@ -220,6 +240,13 @@ Result<u64> RaidDevice::reconstruct_block(SimTime now, size_t dead_dev, u64 off,
 
 IoResult RaidDevice::write(SimTime now, u64 lba, u32 n, std::span<const u64> tags) {
   if (lba + n > capacity_blocks_) return {now, ErrorCode::kInvalidArgument};
+  const u32 sp = (span_ != nullptr && span_->sampling())
+                     ? span_->begin_span("raid.write", now)
+                     : obs::kNoSpan;
+  auto finish = [&](IoResult r) {
+    if (sp != obs::kNoSpan) span_->end_span(sp, r.done, n);
+    return r;
+  };
   switch (cfg_.level) {
     case RaidLevel::kRaid0:
     case RaidLevel::kRaid1: {
@@ -233,7 +260,7 @@ IoResult RaidDevice::write(SimTime now, u64 lba, u32 n, std::span<const u64> tag
           cells.push_back({loc.mirror, loc.off, tag});
         }
       }
-      if (cells.empty()) return {now, ErrorCode::kDeviceFailed};
+      if (cells.empty()) return finish({now, ErrorCode::kDeviceFailed});
       sort_cells(cells);
       std::vector<u64> buf;
       ErrorCode err = ErrorCode::kOk;
@@ -247,14 +274,14 @@ IoResult RaidDevice::write(SimTime now, u64 lba, u32 n, std::span<const u64> tag
         stats_.write_blocks += cnt;
         return r.done;
       });
-      if (err != ErrorCode::kOk) return {now, err};
-      return {done, ErrorCode::kOk};
+      if (err != ErrorCode::kOk) return finish({now, err});
+      return finish({done, ErrorCode::kOk});
     }
     case RaidLevel::kRaid4:
     case RaidLevel::kRaid5:
-      return write_parity_level(now, lba, n, tags);
+      return finish(write_parity_level(now, lba, n, tags));
   }
-  return {now, ErrorCode::kInvalidArgument};
+  return finish({now, ErrorCode::kInvalidArgument});
 }
 
 IoResult RaidDevice::write_parity_level(SimTime now, u64 lba, u32 n,
@@ -296,6 +323,7 @@ IoResult RaidDevice::write_parity_level(SimTime now, u64 lba, u32 n,
     std::vector<u64> parity(cfg_.chunk_blocks, 0);
     std::vector<Cell> reads, writes;
     SimTime t_read = now;
+    const char* strategy = "raid.full_stripe";
 
     if (full) {
       for (u64 c = 0; c < cols; ++c)
@@ -337,6 +365,7 @@ IoResult RaidDevice::write_parity_level(SimTime now, u64 lba, u32 n,
         for (u64 row = 0; row < cfg_.chunk_blocks; ++row)
           if (row_touched[row]) reads.push_back({pdev, dev_off(row), 0, &old_parity[row]});
         rstats_.rmw_writes++;
+        strategy = "raid.rmw";
       } else {
         // Reconstruct-write (also the degraded fall-back: read what is
         // alive, recompute parity from scratch).
@@ -347,6 +376,7 @@ IoResult RaidDevice::write_parity_level(SimTime now, u64 lba, u32 n,
               reads.push_back({data_dev(c), dev_off(row), 0,
                                &old_vals[c * cfg_.chunk_blocks + row]});
         rstats_.reconstruct_writes++;
+        strategy = "raid.reconstruct_write";
       }
 
       sort_cells(reads);
@@ -409,6 +439,10 @@ IoResult RaidDevice::write_parity_level(SimTime now, u64 lba, u32 n,
           return r.done;
         });
     if (werr != ErrorCode::kOk) return {now, werr};
+    if (span_ != nullptr && span_->sampling()) {
+      const u32 ss = span_->begin_span(strategy, now);
+      if (ss != obs::kNoSpan) span_->end_span(ss, t_write, cnt);
+    }
     done = std::max(done, t_write);
     pos += cnt;
   }

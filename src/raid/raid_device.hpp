@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "block/block_device.hpp"
+#include "obs/span.hpp"
 
 namespace srcache::raid {
 
@@ -80,6 +81,12 @@ class RaidDevice final : public BlockDevice {
   // Number of member-device failures this level can currently tolerate.
   [[nodiscard]] int redundancy() const;
 
+  // Attaches an op-span tracer (nullptr detaches). Sampled ops contribute
+  // "raid.read"/"raid.write" spans with per-stripe children naming the
+  // parity-update strategy (full-stripe, RMW, reconstruct-write) and a
+  // "raid.reconstruct" child on degraded reads.
+  void set_span(obs::SpanTracer* tracer) { span_ = tracer; }
+
  private:
   struct Loc {
     size_t dev;
@@ -104,6 +111,7 @@ class RaidDevice final : public BlockDevice {
   DeviceStats stats_;
   RaidStats rstats_;
   u32 mirror_rr_ = 0;
+  obs::SpanTracer* span_ = nullptr;
 };
 
 }  // namespace srcache::raid

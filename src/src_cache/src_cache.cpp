@@ -11,6 +11,16 @@ namespace {
 // CPU cost of staging one block into a segment buffer / serving from RAM.
 constexpr SimTime kStageCost = 1 * sim::kUs;
 constexpr SimTime kRamReadCost = 500 * sim::kNs;
+
+using obs::WriteCause;
+
+// Blocks a payload write occupies — must match the devices' rounding
+// (MemDisk/SimSsd: ceil(size / block), at least 1) so the provenance ledger
+// balances bit-exactly against DeviceStats::write_blocks.
+u64 payload_blocks(const blockdev::Payload& p) {
+  const u64 n = bytes_to_blocks(p ? p->size() : 1);
+  return n == 0 ? 1 : n;
+}
 }  // namespace
 
 const char* to_string(GcPolicy p) {
@@ -136,9 +146,13 @@ SimTime SrcCache::format(SimTime now) {
   sb.region_bytes_per_ssd = cfg_.region_bytes_per_ssd;
   const auto payload = sb.serialize();
   SimTime done = now;
-  for (auto* d : ssds_) {
-    auto r = d->write_payload(now, sg_base_block(0), payload);
-    if (r.ok()) done = std::max(done, r.done);
+  for (size_t d = 0; d < ssds_.size(); ++d) {
+    auto r = ssds_[d]->write_payload(now, sg_base_block(0), payload);
+    if (r.ok()) {
+      done = std::max(done, r.done);
+      ledger_.add(static_cast<u32>(d), obs::kSharedTenant, WriteCause::kParity,
+                  payload_blocks(payload) * kBlockSize);
+    }
   }
   // SG 0 holds the superblock and is never written again (§4.1).
   sgs_[0].state = SgState::kSuper;
@@ -354,7 +368,8 @@ SimTime SrcCache::throttle(SimTime now, SimTime ack) {
 
 // --- write path -------------------------------------------------------------
 
-void SrcCache::stage_dirty(u64 lba, u64 tag, u16 tenant, SimTime now) {
+void SrcCache::stage_dirty(u64 lba, u64 tag, u16 tenant, SimTime now,
+                           obs::WriteCause cause) {
   auto it = map_.find(lba);
   if (it != map_.end()) {
     MapEntry& e = it->second;
@@ -365,6 +380,7 @@ void SrcCache::stage_dirty(u64 lba, u64 tag, u16 tenant, SimTime now) {
     if (e.buffered() && e.dirty()) {
       dirty_buf_.tags[e.slot] = tag;  // overwrite in place
       dirty_buf_.tenants[e.slot] = tenant;
+      dirty_buf_.causes[e.slot] = static_cast<u8>(cause);
       e.tenant = tenant;
       e.flags |= kFlagHot;
       return;
@@ -387,11 +403,13 @@ void SrcCache::stage_dirty(u64 lba, u64 tag, u16 tenant, SimTime now) {
   dirty_buf_.lbas.push_back(lba);
   dirty_buf_.tags.push_back(tag);
   dirty_buf_.tenants.push_back(tenant);
+  dirty_buf_.causes.push_back(static_cast<u8>(cause));
   dirty_buf_.live++;
   last_dirty_stage_ = now;
 }
 
-void SrcCache::stage_clean(u64 lba, u64 tag, u16 tenant, SimTime now) {
+void SrcCache::stage_clean(u64 lba, u64 tag, u16 tenant, SimTime now,
+                           obs::WriteCause cause) {
   (void)now;
   auto it = map_.find(lba);
   if (it != map_.end()) {
@@ -408,6 +426,7 @@ void SrcCache::stage_clean(u64 lba, u64 tag, u16 tenant, SimTime now) {
   clean_buf_.lbas.push_back(lba);
   clean_buf_.tags.push_back(tag);
   clean_buf_.tenants.push_back(tenant);
+  clean_buf_.causes.push_back(static_cast<u8>(cause));
   clean_buf_.live++;
 }
 
@@ -449,7 +468,7 @@ SimTime SrcCache::do_write(const cache::AppRequest& req) {
     } else {
       stats_.write_new_blocks++;
     }
-    stage_dirty(lba, tag, tenant, now);
+    stage_dirty(lba, tag, tenant, now, WriteCause::kUserWrite);
   }
   drain_buffers(now);
   // Writes are acknowledged once staged in the segment buffer (§4.1); the
@@ -465,7 +484,11 @@ SimTime SrcCache::do_write(const cache::AppRequest& req) {
       ++j;
     auto r = primary_->write(now, bypass_lbas[i], static_cast<u32>(j - i),
                              std::span<const u64>(&bypass_tags[i], j - i));
-    if (r.ok()) ack = std::max(ack, r.done);
+    if (r.ok()) {
+      ack = std::max(ack, r.done);
+      ledger_.add(obs::kPrimaryDevice, tenant, WriteCause::kQuotaShed,
+                  (j - i) * kBlockSize);
+    }
     i = j;
   }
   ack = throttle(now, ack);
@@ -523,10 +546,14 @@ SimTime SrcCache::write_one_segment(SimTime now, bool dirty_type, u64 count) {
                              buf.tags.begin() + static_cast<long>(count));
   std::vector<u16> taken_tenant(buf.tenants.begin(),
                                 buf.tenants.begin() + static_cast<long>(count));
+  std::vector<u8> taken_cause(buf.causes.begin(),
+                              buf.causes.begin() + static_cast<long>(count));
   buf.lbas.erase(buf.lbas.begin(), buf.lbas.begin() + static_cast<long>(count));
   buf.tags.erase(buf.tags.begin(), buf.tags.begin() + static_cast<long>(count));
   buf.tenants.erase(buf.tenants.begin(),
                     buf.tenants.begin() + static_cast<long>(count));
+  buf.causes.erase(buf.causes.begin(),
+                   buf.causes.begin() + static_cast<long>(count));
   u32 taken_live = 0;
   for (u64 lba : taken_lba)
     if (lba != kDeadSlot) ++taken_live;
@@ -622,20 +649,69 @@ SimTime SrcCache::write_one_segment(SimTime now, bool dirty_type, u64 count) {
   meta.is_tail = true;
   const auto me_payload = meta.serialize();
   SimTime done = issue;
+  const u32 fill_span = span_ != nullptr && span_->sampling()
+                            ? span_->begin_span("src.segment_fill", issue)
+                            : obs::kNoSpan;
+  // Ledger attribution of one device's data chunk: every row of a data
+  // column carries its slot's staged cause/tenant (dead and padding slots
+  // are layout overhead -> parity/shared); mirror and parity columns are
+  // redundancy overhead wholesale. Co-located with the device writes and
+  // gated on the same success/crash conditions, so per-device ledger bytes
+  // stay exactly equal to DeviceStats::write_blocks.
+  const auto account_data_chunk = [&](size_t d) {
+    const u32 dev32 = static_cast<u32>(d);
+    if (cfg_.raid == SrcRaidLevel::kRaid1 && d >= ncols) {
+      ledger_.add(dev32, obs::kSharedTenant, WriteCause::kParity,
+                  rows * kBlockSize);
+      return;
+    }
+    if (si.has_parity && cfg_.raid != SrcRaidLevel::kRaid1 &&
+        d == si.parity_col) {
+      ledger_.add(dev32, obs::kSharedTenant, WriteCause::kParity,
+                  rows * kBlockSize);
+      return;
+    }
+    u64 col = d;
+    if (si.has_parity && cfg_.raid != SrcRaidLevel::kRaid1 &&
+        d > si.parity_col)
+      col = d - 1;
+    for (u64 r = 0; r < rows; ++r) {
+      const u64 s = col * rows + r;
+      if (s < taken_cause.size()) {
+        ledger_.add(dev32, taken_tenant[s],
+                    static_cast<WriteCause>(taken_cause[s]), kBlockSize);
+      } else {
+        ledger_.add(dev32, obs::kSharedTenant, WriteCause::kParity,
+                    kBlockSize);
+      }
+    }
+  };
   for (size_t d = 0; d < ssds_.size(); ++d) {
     BlockDevice* dev = ssds_[d];
     if (dev->failed()) continue;
     if (point == CrashPoint::kBeforeSeg) break;
     auto rms = dev->write_payload(issue, base, ms_payload);
-    if (rms.ok()) done = std::max(done, rms.done);
+    if (rms.ok()) {
+      done = std::max(done, rms.done);
+      ledger_.add(static_cast<u32>(d), obs::kSharedTenant, WriteCause::kParity,
+                  payload_blocks(ms_payload) * kBlockSize);
+    }
     if (point == CrashPoint::kAfterMs) continue;
     auto rdata = dev->write(issue, base + 1, static_cast<u32>(rows),
                             std::span<const u64>(images[d].data(), rows));
-    if (rdata.ok()) done = std::max(done, rdata.done);
+    if (rdata.ok()) {
+      done = std::max(done, rdata.done);
+      account_data_chunk(d);
+    }
     if (point == CrashPoint::kAfterData) continue;
     auto rme = dev->write_payload(issue, base + 1 + rows, me_payload);
-    if (rme.ok()) done = std::max(done, rme.done);
+    if (rme.ok()) {
+      done = std::max(done, rme.done);
+      ledger_.add(static_cast<u32>(d), obs::kSharedTenant, WriteCause::kParity,
+                  payload_blocks(me_payload) * kBlockSize);
+    }
   }
+  if (fill_span != obs::kNoSpan) span_->end_span(fill_span, done, count);
 
   extra_.segments_written++;
   if (trace_ != nullptr)
@@ -764,7 +840,12 @@ SimTime SrcCache::do_read(const cache::AppRequest& req) {
   std::vector<u64> fetched;
   for (const auto& [lba, cnt] : miss_runs) {
     fetched.assign(cnt, 0);
+    const u32 fetch_span = span_ != nullptr && span_->sampling()
+                               ? span_->begin_span("backend.fetch", now)
+                               : obs::kNoSpan;
     auto r = primary_->read(now, lba, cnt, std::span<u64>(fetched.data(), cnt));
+    if (fetch_span != obs::kNoSpan)
+      span_->end_span(fetch_span, r.ok() ? r.done : now, cnt);
     if (!r.ok()) continue;
     done = std::max(done, r.done);
     stats_.fetch_blocks += cnt;
@@ -776,7 +857,8 @@ SimTime SrcCache::do_read(const cache::AppRequest& req) {
     if (over_quota(tenant)) {
       tenants_[tenant].fetch_bypass_blocks += cnt;
     } else {
-      for (u32 k = 0; k < cnt; ++k) stage_clean(lba + k, fetched[k], tenant, now);
+      for (u32 k = 0; k < cnt; ++k)
+        stage_clean(lba + k, fetched[k], tenant, now, WriteCause::kMissFill);
     }
   }
   // Clean segment writes happen off the critical path; back-pressure only.
@@ -823,7 +905,11 @@ Result<u64> SrcCache::read_slot(SimTime now, u32 sg, u32 seg, u32 slot,
       if (!ssds_[a.dev]->failed()) {
         // The write-back overwrites the bad copy (remap-on-write also clears
         // a latent sector error), so the fault is genuinely gone.
-        ssds_[a.dev]->write(now, a.block, 1, std::span<const u64>(&tag, 1));
+        auto wr =
+            ssds_[a.dev]->write(now, a.block, 1, std::span<const u64>(&tag, 1));
+        if (wr.ok())
+          ledger_.add(static_cast<u32>(a.dev), si.slot_tenant[slot],
+                      WriteCause::kRepairRemap, kBlockSize);
         if (fault_ledger_ != nullptr)
           fault_ledger_->record_repaired(static_cast<int>(a.dev), a.block);
       }
@@ -851,7 +937,11 @@ Result<u64> SrcCache::read_slot(SimTime now, u32 sg, u32 seg, u32 slot,
         if (trace_ != nullptr)
           trace_->instant("src.parity_repair", trace_track_, now, lba);
         if (!ssds_[a.dev]->failed()) {
-          ssds_[a.dev]->write(now, a.block, 1, std::span<const u64>(&tag, 1));
+          auto wr = ssds_[a.dev]->write(now, a.block, 1,
+                                        std::span<const u64>(&tag, 1));
+          if (wr.ok())
+            ledger_.add(static_cast<u32>(a.dev), si.slot_tenant[slot],
+                        WriteCause::kRepairRemap, kBlockSize);
           if (fault_ledger_ != nullptr)
             fault_ledger_->record_repaired(static_cast<int>(a.dev), a.block);
         }
@@ -870,7 +960,11 @@ Result<u64> SrcCache::read_slot(SimTime now, u32 sg, u32 seg, u32 slot,
         // Rewrite the slot so the repair sticks: remap-on-write clears a
         // latent sector error and the good tag replaces the corrupt one
         // (without this every later read re-pays the refetch).
-        ssds_[a.dev]->write(now, a.block, 1, std::span<const u64>(&tag, 1));
+        auto wr =
+            ssds_[a.dev]->write(now, a.block, 1, std::span<const u64>(&tag, 1));
+        if (wr.ok())
+          ledger_.add(static_cast<u32>(a.dev), si.slot_tenant[slot],
+                      WriteCause::kRepairRemap, kBlockSize);
         if (fault_ledger_ != nullptr)
           fault_ledger_->record_repaired(static_cast<int>(a.dev), a.block);
       }

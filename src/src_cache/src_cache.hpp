@@ -24,6 +24,8 @@
 #include "cache/cache_device.hpp"
 #include "fault/ledger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "src_cache/segment_meta.hpp"
 #include "src_cache/src_config.hpp"
@@ -172,6 +174,20 @@ class SrcCache final : public cache::CacheDevice {
     trace_track_ = track;
   }
 
+  // Attaches an op-span tracer (nullptr detaches): segment fills, reclaims,
+  // destages and backend fetches become child spans of the sampled op.
+  void set_span(obs::SpanTracer* tracer) { span_ = tracer; }
+
+  // Cumulative write-provenance ledger: every byte this cache wrote to the
+  // SSDs (obs device index = array position) or to primary storage
+  // (obs::kPrimaryDevice), attributed to its cause. Always on — recording is
+  // integer adds on the seal/destage paths. The balance invariant (per
+  // device: ledger bytes == DeviceStats::write_blocks x kBlockSize) is
+  // asserted by provenance_test.
+  [[nodiscard]] const obs::ProvenanceLedger& provenance() const {
+    return ledger_;
+  }
+
  private:
   static constexpr u32 kBufferSg = ~0u;
   static constexpr u8 kFlagDirty = 1;
@@ -222,11 +238,15 @@ class SrcCache final : public cache::CacheDevice {
     std::vector<u64> lbas;  // kDeadSlot marks an invalidated staged block
     std::vector<u64> tags;
     std::vector<u16> tenants;
+    // Why each staged block exists (obs::WriteCause); rides along to the
+    // seal so the flash bytes it turns into are attributed at stage time.
+    std::vector<u8> causes;
     u32 live = 0;
     void clear() {
       lbas.clear();
       tags.clear();
       tenants.clear();
+      causes.clear();
       live = 0;
     }
   };
@@ -259,8 +279,10 @@ class SrcCache final : public cache::CacheDevice {
   SimTime do_write(const cache::AppRequest& req);
   // Staging only appends to a segment buffer; sealing is driven by
   // seal_buffer so that GC-induced appends can never re-enter a seal.
-  void stage_dirty(u64 lba, u64 tag, u16 tenant, SimTime now);
-  void stage_clean(u64 lba, u64 tag, u16 tenant, SimTime now);
+  void stage_dirty(u64 lba, u64 tag, u16 tenant, SimTime now,
+                   obs::WriteCause cause);
+  void stage_clean(u64 lba, u64 tag, u16 tenant, SimTime now,
+                   obs::WriteCause cause);
   // Drains every full segment from the buffer (and, when force_partial, a
   // trailing partial one). GC triggered by SG allocation may append more
   // entries; the drain loop absorbs them.
@@ -325,6 +347,8 @@ class SrcCache final : public cache::CacheDevice {
 
   obs::TraceLog* trace_ = nullptr;
   u32 trace_track_ = 0;
+  obs::SpanTracer* span_ = nullptr;
+  obs::ProvenanceLedger ledger_;
   // Kept so tenants configured after register_metrics still get per-tenant
   // metrics registered (set_tenant_quotas may run later).
   std::optional<obs::Scope> metrics_scope_;

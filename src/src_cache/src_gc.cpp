@@ -6,6 +6,8 @@
 
 namespace srcache::src {
 
+using obs::WriteCause;
+
 u32 SrcCache::pick_victim() const {
   u32 best = kBufferSg;
   for (u32 s = 0; s < sgs_.size(); ++s) {
@@ -81,12 +83,16 @@ SimTime SrcCache::reclaim_one(SimTime now, bool force_s2d) {
   const bool was_in_gc = in_gc_;
   in_gc_ = true;
   SimTime t = now;
+  const u32 reclaim_span = (span_ != nullptr && span_->sampling())
+                               ? span_->begin_span("src.reclaim", now)
+                               : obs::kNoSpan;
 
   struct Move {
     u64 lba;
     u64 tag;
     u16 tenant;
     bool dirty;
+    bool shed;  // destaged to squeeze an over-quota tenant, not for space
   };
   std::vector<Move> destages;
   std::vector<Move> copies;
@@ -176,12 +182,12 @@ SimTime SrcCache::reclaim_one(SimTime now, bool force_s2d) {
         // safe on primary, and its cache share shrinks.
         if (use_s2d || shed) {
           if (!use_s2d) tenants_[e.tenant].gc_shed_blocks++;
-          destages.push_back({lba, tag[k], e.tenant, true});
+          destages.push_back({lba, tag[k], e.tenant, true, shed && !use_s2d});
         } else {
-          copies.push_back({lba, tag[k], e.tenant, true});
+          copies.push_back({lba, tag[k], e.tenant, true, false});
         }
       } else if (!use_s2d && e.hot() && !shed) {
-        copies.push_back({lba, tag[k], e.tenant, false});
+        copies.push_back({lba, tag[k], e.tenant, false, false});
       } else {
         if (shed && !use_s2d && e.hot()) tenants_[e.tenant].gc_shed_blocks++;
         stats_.dropped_clean_blocks++;
@@ -197,6 +203,10 @@ SimTime SrcCache::reclaim_one(SimTime now, bool force_s2d) {
             [](const Move& a, const Move& b) { return a.lba < b.lba; });
   primary_->set_background(true);
   SimTime destaged_at = t;
+  const u32 destage_span =
+      (!destages.empty() && span_ != nullptr && span_->sampling())
+          ? span_->begin_span("src.destage", t)
+          : obs::kNoSpan;
   std::vector<u64> wtags;
   size_t i = 0;
   while (i < destages.size()) {
@@ -206,12 +216,21 @@ SimTime SrcCache::reclaim_one(SimTime now, bool force_s2d) {
     for (size_t k = i; k < j; ++k) wtags.push_back(destages[k].tag);
     auto r = primary_->write(t, destages[i].lba, static_cast<u32>(j - i),
                              std::span<const u64>(wtags.data(), wtags.size()));
-    if (r.ok()) destaged_at = std::max(destaged_at, r.done);
+    if (r.ok()) {
+      destaged_at = std::max(destaged_at, r.done);
+      for (size_t k = i; k < j; ++k)
+        ledger_.add(obs::kPrimaryDevice, destages[k].tenant,
+                    destages[k].shed ? WriteCause::kQuotaShed
+                                     : WriteCause::kDestage,
+                    kBlockSize);
+    }
     stats_.destage_blocks += j - i;
     for (size_t k = i; k < j; ++k)
       tenants_[destages[k].tenant].destage_blocks++;
     i = j;
   }
+  if (destage_span != obs::kNoSpan)
+    span_->end_span(destage_span, destaged_at, destages.size());
   primary_->set_background(false);
 
   // S2S copies re-enter the segment buffers cold (second chance). They are
@@ -220,10 +239,10 @@ SimTime SrcCache::reclaim_one(SimTime now, bool force_s2d) {
   for (const Move& m : copies) {
     stats_.gc_copy_blocks++;
     if (m.dirty) {
-      stage_dirty(m.lba, m.tag, m.tenant, now);
+      stage_dirty(m.lba, m.tag, m.tenant, now, WriteCause::kGcRewrite);
       map_.at(m.lba).flags &= static_cast<u8>(~kFlagHot);
     } else {
-      stage_clean(m.lba, m.tag, m.tenant, now);
+      stage_clean(m.lba, m.tag, m.tenant, now, WriteCause::kGcRewrite);
     }
   }
 
@@ -246,6 +265,7 @@ SimTime SrcCache::reclaim_one(SimTime now, bool force_s2d) {
   if (trace_ != nullptr)
     trace_->complete(use_s2d ? "src.sg_reclaim_s2d" : "src.sg_reclaim_s2s",
                      trace_track_, now, t, v);
+  if (reclaim_span != obs::kNoSpan) span_->end_span(reclaim_span, t, v);
   return t;
 }
 

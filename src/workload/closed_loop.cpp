@@ -50,7 +50,14 @@ u64 ClosedLoop::issue(sim::SimTime now, size_t g, bool measure) {
     miss_before = op.is_write ? cache_->stats().write_new_blocks
                               : cache_->stats().read_miss_blocks;
   }
+  // Root op-span: opened before the submit so component spans underneath
+  // attach as children; the sampling draw happens on every measured op in
+  // issue order, keeping the tracer's RNG stream shard-deterministic.
+  const bool op_sampled =
+      measure && cfg_.spans != nullptr &&
+      cfg_.spans->begin_op(op.is_write ? "op.write" : "op.read", now);
   const sim::SimTime done = cache_->submit(req);
+  if (op_sampled) cfg_.spans->end_op(done, op.nblocks);
   if (done < now) throw std::logic_error("Runner: completion before issue");
   if (measure) {
     const u64 miss_after = op.is_write ? cache_->stats().write_new_blocks
@@ -108,6 +115,7 @@ void ClosedLoop::start() {
   }
   cache_before_ = cache_->stats();
   if (cfg_.registry != nullptr) metrics_before_ = cfg_.registry->snapshot();
+  if (cfg_.provenance != nullptr) prov_before_ = *cfg_.provenance;
   sampler_.start(start_);
   // Fault-plan triggers are relative to the measurement window ("2s in",
   // "ops:1000"), so the injector is anchored and advanced only inside it.
@@ -212,6 +220,12 @@ RunResult ClosedLoop::finish() {
   // bugs show up in REPRO_JSON instead of being swallowed.
   res_.metrics.counters["obs.latency.clamped"] = res_.latency_clamped;
   res_.timeseries = sampler_.take();
+  // Window deltas mirror the ssd-stats delta above, so the ledger balance
+  // invariant (flash bytes == cache-SSD write bytes) holds per window even
+  // with preconditioning traffic before start().
+  if (cfg_.provenance != nullptr)
+    res_.provenance = cfg_.provenance->delta_since(prov_before_);
+  if (cfg_.spans != nullptr) res_.spans = cfg_.spans->outcome();
 
   if (cfg_.fault != nullptr) {
     FaultOutcome& fo = res_.fault;

@@ -47,6 +47,11 @@ class ClosedLoop {
   [[nodiscard]] bool finished() const { return done_; }
   [[nodiscard]] u64 ops() const { return res_.ops; }
   [[nodiscard]] u64 bytes() const { return res_.bytes; }
+  // Cumulative measured-window latency so far — lets barrier hooks (e.g. the
+  // epoch SLO watchdog) read per-epoch deltas from quiescent domains.
+  [[nodiscard]] const obs::LatencyRecorder& latency() const {
+    return res_.latency;
+  }
   // Virtual time of the next pending completion (window_end when drained);
   // after run_until(t) returned true this is >= t — the barrier invariant
   // engine_test asserts.
@@ -80,6 +85,7 @@ class ClosedLoop {
   blockdev::DeviceStats ssd_before_;
   cache::CacheStats cache_before_;
   obs::MetricsSnapshot metrics_before_;
+  obs::ProvenanceLedger prov_before_;
 };
 
 }  // namespace srcache::workload

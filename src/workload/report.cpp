@@ -85,6 +85,62 @@ std::string run_json(const std::string& bench, const std::string& name,
     w.end_object();
   }
 
+  // v5: causal-observability blocks. Each is emitted only when its feature
+  // was wired for the run, keeping older documents' shapes as strict subsets.
+  if (!r.provenance.empty()) w.key("provenance").raw(r.provenance.to_json());
+
+  if (r.spans.active) {
+    w.key("spans").begin_object();
+    w.kv("rate", r.spans.rate);
+    w.kv("ops_seen", r.spans.ops_seen);
+    w.kv("ops_sampled", r.spans.ops_sampled);
+    w.kv("spans", r.spans.spans);
+    w.kv("dropped", r.spans.span_dropped);
+    w.key("by_name").begin_object();
+    for (const auto& [sname, agg] : r.spans.by_name) {
+      w.key(sname).begin_object();
+      w.kv("count", agg.count);
+      w.kv("total_ns", agg.total_ns);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+
+  if (r.slo.active) {
+    w.key("slo").begin_object();
+    w.key("policy").begin_object();
+    w.kv("min_throughput_mbps", r.slo.policy.min_throughput_mbps);
+    w.kv("max_read_p99_ms", r.slo.policy.max_read_p99_ms);
+    w.kv("max_write_p99_ms", r.slo.policy.max_write_p99_ms);
+    w.kv("max_degraded_domains",
+         static_cast<i64>(r.slo.policy.max_degraded_domains));
+    w.kv("error_budget", r.slo.policy.error_budget);
+    w.end_object();
+    w.kv("epochs", static_cast<u64>(r.slo.epochs));
+    w.kv("violations", static_cast<u64>(r.slo.violations));
+    w.kv("degraded_epochs", static_cast<u64>(r.slo.degraded_epochs));
+    w.kv("burn_rate", r.slo.burn_rate);
+    w.kv("breached", r.slo.breached);
+    w.key("verdicts").begin_array();
+    for (const obs::SloVerdict& v : r.slo.verdicts) {
+      w.begin_object();
+      w.kv("epoch", static_cast<u64>(v.epoch));
+      w.kv("seconds", v.seconds);
+      w.kv("ops", v.ops);
+      w.kv("bytes", v.bytes);
+      w.kv("throughput_mbps", v.throughput_mbps);
+      w.kv("read_p99_ms", v.read_p99_ms);
+      w.kv("write_p99_ms", v.write_p99_ms);
+      w.kv("degraded_domains", static_cast<u64>(v.degraded_domains));
+      w.kv("ok", v.ok);
+      w.kv("violated", v.violated);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
   if (!r.tenants.empty()) {
     w.key("tenants").begin_array();
     for (size_t t = 0; t < r.tenants.size(); ++t) {
@@ -138,7 +194,7 @@ std::string run_json(const std::string& bench, const std::string& name,
 std::string ReproReport::to_json() const {
   obs::JsonWriter w;
   w.begin_object();
-  w.kv("schema", "srcache-repro-v4");
+  w.kv("schema", "srcache-repro-v5");
   w.kv("scale", scale_);
   w.kv("virtual_seconds", virtual_seconds_);
   w.key("runs").begin_array();

@@ -55,6 +55,19 @@
 // load; it is the ONLY part of the document excluded from the engine's
 // bit-identical-across-shard-counts contract (tools/repro_report --digest
 // hashes the document minus "perf" for exactly this reason).
+//
+// v5 is a strict superset of v4. Runs with the causal observability layer
+// wired add up to three blocks, each only when its feature was active:
+//   "provenance": { "flash_bytes", "primary_bytes", "by_cause": {...},
+//                   "devices": [ { "device", "bytes", by_cause... } ],
+//                   "tenants": [ { "tenant", "bytes", by_cause... } ] }
+// (write-provenance ledger; sum over causes == total flash bytes written),
+//   "spans": { "rate", "ops_seen", "ops_sampled", "spans", "dropped",
+//              "by_name": { <span>: { "count", "total_ns" } } }
+// (REPRO_SPAN_SAMPLE op-span tracing aggregate), and
+//   "slo": { "policy": {...}, "epochs", "violations", "degraded_epochs",
+//            "burn_rate", "breached", "verdicts": [ {...} ] }
+// (epoch SLO watchdog verdicts; see obs/slo.hpp and repro_report --slo).
 #pragma once
 
 #include <string>

@@ -14,6 +14,9 @@
 #include "fault/fault_injector.hpp"
 #include "obs/latency.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
+#include "obs/slo.hpp"
+#include "obs/span.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "workload/generators.hpp"
@@ -56,6 +59,15 @@ struct RunConfig {
   // measurement-window start, like fault triggers, and closed at request
   // boundaries inside the window.
   adapt::AdaptiveController* adapt = nullptr;
+  // Optional write-provenance ledger of the cache under test. The runner
+  // snapshots it after warm-up and reports the measurement-window delta in
+  // RunResult.provenance, mirroring the ssd-stats window delta so the
+  // balance invariant (ledger flash bytes == SSD write bytes) holds exactly.
+  const obs::ProvenanceLedger* provenance = nullptr;
+  // Optional op-span tracer. The runner opens a root span ("op.read"/
+  // "op.write") around every measured request; components wired to the same
+  // tracer attach children. RunResult.spans carries the aggregate outcome.
+  obs::SpanTracer* spans = nullptr;
 };
 
 // Fault-scenario outcome of a run (RunConfig::fault). The window is split at
@@ -143,6 +155,17 @@ struct RunResult {
 
   // Fault-scenario outcome (inactive unless RunConfig::fault was set).
   FaultOutcome fault;
+
+  // Write-provenance ledger delta over the measurement window (empty unless
+  // RunConfig::provenance was set). Merged exactly across shard domains.
+  obs::ProvenanceLedger provenance;
+
+  // Op-span tracing outcome (inactive unless RunConfig::spans was set).
+  obs::SpanOutcome spans;
+
+  // Epoch SLO watchdog outcome (inactive unless a watchdog observed this
+  // run; the engine harness assigns it on the merged result).
+  obs::SloOutcome slo;
 
   // Per-tenant outcomes (empty unless RunConfig::num_tenants > 0) and the
   // adaptive controller's epoch/rebalance counts over the window.

@@ -9,7 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include "block/block_device.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
 #include "engine/engine.hpp"
+#include "obs/slo.hpp"
+#include "obs/span.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
 #include "src_test_util.hpp"
 #include "workload/generators.hpp"
 #include "workload/report.hpp"
@@ -32,6 +39,11 @@ struct TestDomain {
   src::testutil::Rig rig;
   std::vector<std::unique_ptr<workload::Generator>> gens;
   std::vector<workload::Generator*> gen_ptrs;
+  // Observability sidecars (make_obs_domain only): per-domain event trace
+  // and op-span tracer, owned here so hooks and post-run assertions can
+  // reach them.
+  std::unique_ptr<obs::TraceLog> trace;
+  std::unique_ptr<obs::SpanTracer> spans;
 };
 
 // Builds domain `index`: a fresh small rig plus two FIO streams whose seeds
@@ -64,6 +76,26 @@ DomainSetup make_test_domain(u32 index, u32 num_tenants = 0) {
   s.cfg.warmup_bytes = 256 * KiB;
   s.cfg.num_tenants = num_tenants;
   s.owned = holder;
+  return s;
+}
+
+// Like make_test_domain but with the full observability stack wired in:
+// event trace (runner request events + SRC internals), op-span tracer
+// (deterministic per-domain seed off the same derivation the bench harness
+// uses), and the cache's write-provenance ledger. The trace capacity is
+// sized so the identity runs never drop an event — asserted by the test.
+DomainSetup make_obs_domain(u32 index) {
+  DomainSetup s = make_test_domain(index);
+  auto* holder = static_cast<TestDomain*>(s.owned.get());
+  holder->trace = std::make_unique<obs::TraceLog>(1 << 20);
+  holder->rig.cache->set_trace(holder->trace.get(), obs::kTrackSrc);
+  s.cfg.trace = holder->trace.get();
+  s.cfg.trace_track = obs::kTrackApp;
+  holder->spans = std::make_unique<obs::SpanTracer>(
+      common::SplitMix64(9000 + index).next(), /*rate=*/0.25);
+  holder->rig.cache->set_span(holder->spans.get());
+  s.cfg.spans = holder->spans.get();
+  s.cfg.provenance = &holder->rig.cache->provenance();
   return s;
 }
 
@@ -264,6 +296,218 @@ TEST(ParallelEngine, AdaptQuotaDeliveryAtBarrierIsDeterministic) {
     return fingerprint(r);
   };
   EXPECT_EQ(run_with_quotas(1), run_with_quotas(4));
+}
+
+// --- observability under the engine ----------------------------------------
+
+// Span tracing and the provenance ledger must not perturb the simulation:
+// with both enabled in every domain, the fingerprint (which now serializes
+// the spans and provenance blocks too) stays bit-identical across shard and
+// thread counts. The per-domain traces must also retain every event — a
+// dropped event would mean the ring silently truncated the timeline the
+// identity claim is made over.
+TEST(ParallelEngine, SpansAndLedgerPreserveIdentityWithZeroTraceDrops) {
+  auto run_obs = [](u32 shards, u32 threads) {
+    EngineConfig cfg;
+    cfg.shards = shards;
+    cfg.threads = threads;
+    ParallelEngine eng(cfg);
+    // Keep the domain holders alive past run() so the traces and tracers
+    // can be inspected after the engine tears the rigs down.
+    auto holders =
+        std::make_shared<std::vector<std::shared_ptr<TestDomain>>>(4);
+    const EngineResult r = eng.run(4, [holders](u32 index, u32) {
+      DomainSetup s = make_obs_domain(index);
+      (*holders)[index] = std::static_pointer_cast<TestDomain>(s.owned);
+      return s;
+    });
+    for (const auto& d : *holders) {
+      EXPECT_NE(d, nullptr);
+      if (d == nullptr) continue;
+      EXPECT_EQ(d->trace->dropped(), 0u) << "trace ring truncated";
+      EXPECT_GT(d->trace->size(), 0u);
+      EXPECT_EQ(d->trace->total_recorded(), d->trace->size());
+    }
+    // Both observability channels actually fired.
+    EXPECT_FALSE(r.merged.provenance.empty());
+    EXPECT_TRUE(r.merged.spans.active);
+    EXPECT_GT(r.merged.spans.ops_sampled, 0u);
+    EXPECT_GT(r.merged.spans.spans, r.merged.spans.ops_sampled);
+    return fingerprint(r);
+  };
+  const std::string serial = run_obs(1, 0);
+  EXPECT_EQ(serial, run_obs(4, 0));
+  EXPECT_EQ(serial, run_obs(4, 4));
+}
+
+// An SLO watchdog fed cumulative merged state at every barrier (the same
+// hook shape the bench harness installs) produces a verdict stream that is
+// part of the fingerprint and bit-identical across shard counts.
+TEST(ParallelEngine, SloWatchdogAtBarriersIsDeterministic) {
+  auto run_slo = [](u32 shards) {
+    EngineConfig cfg;
+    cfg.shards = shards;
+    cfg.epoch = kDuration / 4;
+    ParallelEngine eng(cfg);
+    obs::SloPolicy policy;
+    policy.min_throughput_mbps = 1e9;  // unreachable: every epoch violates
+    policy.max_degraded_domains = 0;   // no device ever fails here
+    auto watchdog = std::make_shared<obs::SloWatchdog>(policy);
+    eng.add_epoch_hook([watchdog](const EpochView& v) {
+      u64 ops = 0;
+      u64 bytes = 0;
+      common::Histogram reads;
+      common::Histogram writes;
+      u32 degraded = 0;
+      for (const auto& dom : *v.domains) {
+        ops += dom->ops();
+        bytes += dom->bytes();
+        reads.merge(dom->latency().reads());
+        writes.merge(dom->latency().writes());
+        bool any_failed = false;
+        for (const blockdev::BlockDevice* d : dom->ssds())
+          any_failed = any_failed || d->failed();
+        if (any_failed) ++degraded;
+      }
+      watchdog->observe_epoch(v.rel_end, ops, bytes, reads, writes, degraded);
+    });
+    EngineResult r =
+        eng.run(4, [](u32 index, u32) { return make_test_domain(index); });
+    r.merged.slo = watchdog->outcome();
+    EXPECT_TRUE(r.merged.slo.active);
+    EXPECT_EQ(r.merged.slo.epochs, r.epochs);
+    EXPECT_EQ(r.merged.slo.violations, r.epochs);  // throughput never met
+    EXPECT_EQ(r.merged.slo.degraded_epochs, 0u);
+    EXPECT_TRUE(r.merged.slo.breached);
+    return fingerprint(r);
+  };
+  EXPECT_EQ(run_slo(1), run_slo(4));
+}
+
+// --- time-series merge edge cases ------------------------------------------
+
+// Domains may close different sample counts (a domain that finished its last
+// request just before a boundary closes one fewer interval). The merge
+// matches samples by index up to the *maximum* count: indices past a
+// domain's end simply get no contribution from it, and "util.*" series
+// average over the domains actually reporting at that index — never over
+// the full domain count.
+TEST(MergeResults, TimeseriesMergesUnequalSampleCountsByIndex) {
+  const sim::SimTime iv = 100 * sim::kMs;
+  workload::RunResult a;
+  a.seconds = 0.2;
+  a.timeseries.interval = iv;
+  a.timeseries.window_start = 10 * iv;  // anchors differ between domains
+  obs::TimeSample a0;
+  a0.start = 10 * iv;
+  a0.end = 11 * iv;
+  a0.ops = 10;
+  a0.bytes = 1000000;
+  a0.app_blocks = 10;
+  a0.hits = 6;
+  a0.misses = 4;
+  a0.io_amplification = 2.0;
+  a0.series["gc.erases"] = 3.0;
+  a0.series["util.ssd.0.nand"] = 0.5;
+  obs::TimeSample a1 = a0;
+  a1.start = 11 * iv;
+  a1.end = 12 * iv;
+  a1.ops = 20;
+  a1.bytes = 2000000;
+  a1.app_blocks = 20;
+  a1.hits = 20;
+  a1.misses = 0;
+  a1.io_amplification = 1.5;
+  a1.series.clear();
+  a1.series["util.ssd.0.nand"] = 1.0;
+  a.timeseries.samples = {a0, a1};
+
+  workload::RunResult b;
+  b.seconds = 0.2;
+  b.timeseries.interval = iv;
+  b.timeseries.window_start = 50 * iv;
+  obs::TimeSample b0;
+  b0.start = 50 * iv;
+  b0.end = 51 * iv;
+  b0.ops = 30;
+  b0.bytes = 3000000;
+  b0.app_blocks = 30;
+  b0.hits = 0;
+  b0.misses = 30;
+  b0.io_amplification = 4.0;
+  b0.series["gc.erases"] = 1.0;
+  b0.series["util.ssd.0.nand"] = 0.7;
+  b0.series["util.hdd.link"] = 0.4;  // only domain b has a primary here
+  b.timeseries.samples = {b0};
+
+  const workload::RunResult m = engine::merge_results({a, b});
+  const obs::TimeSeries& ts = m.timeseries;
+  EXPECT_EQ(ts.interval, iv);
+  EXPECT_EQ(ts.window_start, 0);
+  ASSERT_EQ(ts.samples.size(), 2u);  // max over domains, not min
+
+  // Sample 0: both domains contribute; re-anchored at 0.
+  const obs::TimeSample& s0 = ts.samples[0];
+  EXPECT_EQ(s0.start, 0);
+  EXPECT_EQ(s0.end, iv);
+  EXPECT_EQ(s0.ops, 40u);
+  EXPECT_EQ(s0.bytes, 4000000u);
+  EXPECT_EQ(s0.hits, 6u);
+  EXPECT_EQ(s0.misses, 34u);
+  EXPECT_DOUBLE_EQ(s0.hit_ratio, 6.0 / 40.0);
+  EXPECT_DOUBLE_EQ(s0.throughput_mbps, 4.0 / 0.1);  // 4 MB over 100 ms
+  // SSD-blocks numerator reconstructed per domain: 2*10 + 4*30 over 40.
+  EXPECT_DOUBLE_EQ(s0.io_amplification, 140.0 / 40.0);
+  // Extensive series sum; util averages over the two reporters.
+  EXPECT_DOUBLE_EQ(s0.series.at("gc.erases"), 4.0);
+  EXPECT_DOUBLE_EQ(s0.series.at("util.ssd.0.nand"), 0.6);
+  // A util series only one domain reports is NOT divided by the domain
+  // count — the other domain has no such resource, not an idle one.
+  EXPECT_DOUBLE_EQ(s0.series.at("util.hdd.link"), 0.4);
+
+  // Sample 1: only domain a reaches index 1; its values pass through
+  // unscaled and the util series is untouched (single reporter).
+  const obs::TimeSample& s1 = ts.samples[1];
+  EXPECT_EQ(s1.start, iv);
+  EXPECT_EQ(s1.end, 2 * iv);
+  EXPECT_EQ(s1.ops, 20u);
+  EXPECT_EQ(s1.bytes, 2000000u);
+  EXPECT_DOUBLE_EQ(s1.hit_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(s1.io_amplification, 1.5);
+  EXPECT_DOUBLE_EQ(s1.series.at("util.ssd.0.nand"), 1.0);
+  EXPECT_EQ(s1.series.count("gc.erases"), 0u);
+  EXPECT_EQ(s1.series.count("util.hdd.link"), 0u);
+}
+
+// A domain whose run produced no samples at all (sampler disabled or the
+// window closed before the first boundary) must not shrink or poison the
+// merged series.
+TEST(MergeResults, TimeseriesIgnoresDomainsWithoutSamples) {
+  const sim::SimTime iv = 100 * sim::kMs;
+  workload::RunResult empty;
+  empty.seconds = 0.1;
+  empty.timeseries.interval = iv;  // enabled, but closed zero intervals
+  workload::RunResult full = empty;
+  obs::TimeSample s;
+  s.start = 7 * iv;
+  s.end = 8 * iv;
+  s.ops = 5;
+  s.bytes = 500000;
+  s.app_blocks = 5;
+  s.hits = 5;
+  s.io_amplification = 3.0;
+  s.series["util.ssd.0.nand"] = 0.25;
+  full.timeseries.window_start = 7 * iv;
+  full.timeseries.samples = {s};
+
+  const workload::RunResult m = engine::merge_results({empty, full});
+  ASSERT_EQ(m.timeseries.samples.size(), 1u);
+  const obs::TimeSample& s0 = m.timeseries.samples[0];
+  EXPECT_EQ(s0.start, 0);  // anchored by the only contributor
+  EXPECT_EQ(s0.end, iv);
+  EXPECT_EQ(s0.ops, 5u);
+  EXPECT_DOUBLE_EQ(s0.io_amplification, 3.0);
+  EXPECT_DOUBLE_EQ(s0.series.at("util.ssd.0.nand"), 0.25);
 }
 
 }  // namespace

@@ -15,6 +15,8 @@
 #include "obs/json.hpp"
 #include "obs/latency.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/span.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "src_cache/src_cache.hpp"
@@ -209,18 +211,19 @@ TEST(Latency, NegativeLatencyClampIsCounted) {
 
 // --- TraceLog --------------------------------------------------------------
 
-TEST(Trace, RingWraparound) {
+TEST(Trace, CapacityDropsNewestAndCounts) {
   obs::TraceLog log(4);
   for (int i = 0; i < 10; ++i)
     log.instant("e", obs::kTrackApp, i * 100, static_cast<u64>(i));
   EXPECT_EQ(log.capacity(), 4u);
   EXPECT_EQ(log.size(), 4u);
   EXPECT_EQ(log.total_recorded(), 10u);
+  // Drop-newest: the retained prefix is intact and the overflow is counted
+  // (surfaced as the obs.trace.dropped gauge), never silently overwritten.
   EXPECT_EQ(log.dropped(), 6u);
   const auto evs = log.events();
   ASSERT_EQ(evs.size(), 4u);
-  // Oldest-first: the last four recorded events in order.
-  for (int i = 0; i < 4; ++i) EXPECT_EQ(evs[i].arg, static_cast<u64>(6 + i));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(evs[i].arg, static_cast<u64>(i));
   log.clear();
   EXPECT_EQ(log.size(), 0u);
   EXPECT_EQ(log.dropped(), 0u);
@@ -375,6 +378,34 @@ TEST(TimeSeries, UtilizationFromBusyDeltasIsMonotoneNonNegative) {
   EXPECT_DOUBLE_EQ(ts.samples[0].series.at("src.dirty_buffer_frac"), 0.25);
   EXPECT_DOUBLE_EQ(ts.samples[1].series.at("src.dirty_buffer_frac"), 0.75);
   EXPECT_EQ(ts.samples[0].series.count("ssd.0.nand_units"), 0u);
+}
+
+// A units gauge that reads zero (component registered before sizing itself,
+// or a resource with no active lanes) must not become a divisor: the sampler
+// falls back to one unit, keeping utilization finite and exact.
+TEST(TimeSeries, ZeroUnitsGaugeFallsBackToOneUnit) {
+  obs::MetricsRegistry reg;
+  u64 busy = 0;
+  reg.counter_fn("ssd.0.nand_busy_ns", [&busy] { return busy; });
+  double units = 0.0;
+  reg.gauge_fn("ssd.0.nand_units", [&units] { return units; });
+
+  obs::TimeSeriesSampler s(&reg, 100);
+  s.start(0);
+  busy = 50;
+  s.record(100, false, true, 1, 4096);  // closes [0,100) with gauge at 0
+  units = 2.0;  // gauge comes alive for the next interval
+  busy = 250;
+  s.finish(200);
+  const obs::TimeSeries ts = s.take();
+  ASSERT_EQ(ts.samples.size(), 2u);
+  // Zero gauge: 50 ns busy over a 100 ns interval, one implied unit.
+  EXPECT_DOUBLE_EQ(ts.samples[0].series.at("util.ssd.0.nand"), 0.5);
+  // Positive gauge divides as usual: 200 ns over 100 ns x 2 units.
+  EXPECT_DOUBLE_EQ(ts.samples[1].series.at("util.ssd.0.nand"), 1.0);
+  // The helper gauge itself still never leaks through as a series.
+  for (const auto& sample : ts.samples)
+    EXPECT_EQ(sample.series.count("ssd.0.nand_units"), 0u);
 }
 
 TEST(TimeSeries, CsvEscaping) {
@@ -588,7 +619,7 @@ TEST(ObsEndToEnd, ReportJsonRoundTrip) {
   const auto parsed = obs::parse_json(report.to_json());
   ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
   const obs::JsonValue& doc = parsed.value();
-  EXPECT_EQ(doc.find("schema")->string, "srcache-repro-v4");
+  EXPECT_EQ(doc.find("schema")->string, "srcache-repro-v5");
   ASSERT_TRUE(doc.find("runs")->is_array());
   ASSERT_EQ(doc.find("runs")->array.size(), 1u);
 
@@ -697,6 +728,207 @@ TEST(ObsEndToEnd, ReportJsonTenantsBlockRoundTrips) {
   ASSERT_NE(adapt, nullptr);
   EXPECT_DOUBLE_EQ(adapt->find("epochs")->number, 9.0);
   EXPECT_DOUBLE_EQ(adapt->find("rebalances")->number, 2.0);
+}
+
+// --- SpanTracer ------------------------------------------------------------
+
+TEST(Span, TreeStructureAndAmbientStack) {
+  obs::SpanTracer tr(/*seed=*/1, /*rate=*/1.0);
+  ASSERT_TRUE(tr.begin_op("op.write", 100));
+  ASSERT_TRUE(tr.sampling());
+  const u32 fill = tr.begin_span("src.segment_fill", 110);
+  ASSERT_NE(fill, obs::kNoSpan);
+  const u32 ssd = tr.begin_span("ssd.write", 120, /*dev=*/2);
+  ASSERT_NE(ssd, obs::kNoSpan);
+  tr.end_span(ssd, 150, 8);
+  tr.end_span(fill, 160, 4);
+  tr.end_op(200, 16);
+  EXPECT_FALSE(tr.sampling());
+
+  const auto& recs = tr.records();
+  ASSERT_EQ(recs.size(), 3u);
+  // Root: no parent, depth 0, gets the op arg and the op end time.
+  EXPECT_EQ(recs[0].parent, obs::kNoSpan);
+  EXPECT_EQ(recs[0].depth, 0u);
+  EXPECT_EQ(recs[0].end, 200);
+  EXPECT_EQ(recs[0].arg, 16u);
+  // Children chain under the root with the root's trace id.
+  EXPECT_EQ(recs[1].parent, 0u);
+  EXPECT_EQ(recs[1].depth, 1u);
+  EXPECT_EQ(recs[2].parent, 1u);
+  EXPECT_EQ(recs[2].depth, 2u);
+  EXPECT_EQ(recs[2].dev, 2u);
+  EXPECT_EQ(recs[1].trace_id, recs[0].trace_id);
+  EXPECT_EQ(recs[2].trace_id, recs[0].trace_id);
+}
+
+TEST(Span, EndOpClosesForgottenChildren) {
+  obs::SpanTracer tr(1, 1.0);
+  ASSERT_TRUE(tr.begin_op("op.read", 0));
+  const u32 child = tr.begin_span("backend.fetch", 10);
+  ASSERT_NE(child, obs::kNoSpan);
+  tr.end_op(500, 1);  // child never ended explicitly
+  ASSERT_EQ(tr.records().size(), 2u);
+  EXPECT_EQ(tr.records()[1].end, 500);  // inherits the op completion time
+  EXPECT_FALSE(tr.sampling());
+}
+
+TEST(Span, UnsampledOpRecordsNothingButDraws) {
+  obs::SpanTracer tr(1, 0.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(tr.begin_op("op.read", i));
+    EXPECT_FALSE(tr.sampling());
+    EXPECT_EQ(tr.begin_span("ssd.read", i), obs::kNoSpan);
+    tr.end_op(i + 1, 1);
+  }
+  const obs::SpanOutcome o = tr.outcome();
+  EXPECT_EQ(o.ops_seen, 10u);
+  EXPECT_EQ(o.ops_sampled, 0u);
+  EXPECT_EQ(o.spans, 0u);
+}
+
+TEST(Span, SamplingDrawIsDeterministicPerSeed) {
+  obs::SpanTracer a(42, 0.5);
+  obs::SpanTracer b(42, 0.5);
+  u32 picked_a = 0, picked_b = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (a.begin_op("op", i)) ++picked_a;
+    a.end_op(i + 1, 1);
+    if (b.begin_op("op", i)) ++picked_b;
+    b.end_op(i + 1, 1);
+  }
+  EXPECT_EQ(picked_a, picked_b);
+  EXPECT_GT(picked_a, 0u);
+  EXPECT_LT(picked_a, 200u);
+}
+
+TEST(Span, CapacityCapDropsAndCounts) {
+  obs::SpanTracer tr(1, 1.0, /*cap=*/2);
+  ASSERT_TRUE(tr.begin_op("op.write", 0));
+  EXPECT_NE(tr.begin_span("a", 1), obs::kNoSpan);
+  EXPECT_EQ(tr.begin_span("b", 2), obs::kNoSpan);  // over cap
+  tr.end_op(10, 1);
+  EXPECT_FALSE(tr.begin_op("op.write", 20));  // root itself over cap
+  const obs::SpanOutcome o = tr.outcome();
+  EXPECT_EQ(o.spans, 2u);
+  EXPECT_EQ(o.span_dropped, 2u);
+}
+
+TEST(Span, OutcomeMergeAddIsExact) {
+  obs::SpanTracer a(1, 1.0);
+  ASSERT_TRUE(a.begin_op("op.read", 0));
+  a.end_op(100, 1);
+  obs::SpanTracer b(2, 1.0);
+  ASSERT_TRUE(b.begin_op("op.read", 0));
+  b.end_op(50, 1);
+  ASSERT_TRUE(b.begin_op("op.write", 60));
+  b.end_op(70, 1);
+
+  obs::SpanOutcome m = a.outcome();
+  m.merge_add(b.outcome());
+  EXPECT_TRUE(m.active);
+  EXPECT_EQ(m.ops_seen, 3u);
+  EXPECT_EQ(m.ops_sampled, 3u);
+  EXPECT_EQ(m.spans, 3u);
+  EXPECT_EQ(m.by_name.at("op.read").count, 2u);
+  EXPECT_EQ(m.by_name.at("op.read").total_ns, 150u);
+  EXPECT_EQ(m.by_name.at("op.write").count, 1u);
+  EXPECT_EQ(m.by_name.at("op.write").total_ns, 10u);
+}
+
+TEST(Span, CombinedChromeJsonParsesWithFlows) {
+  obs::TraceLog log(16);
+  log.instant("src.seal", obs::kTrackSrc, 5, 1);
+  obs::SpanTracer tr(1, 1.0);
+  ASSERT_TRUE(tr.begin_op("op.write", 0));
+  const u32 child = tr.begin_span("ssd.write", 10, 1);
+  tr.end_span(child, 90, 8);
+  tr.end_op(100, 8);
+
+  const auto r = obs::parse_json(obs::combined_chrome_json(&log, &tr));
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  const obs::JsonValue& v = r.value();
+  ASSERT_TRUE(v.is_array());
+  int slices = 0, flow_starts = 0, flow_ends = 0, instants = 0;
+  for (const auto& e : v.array) {
+    const std::string& ph = e.find("ph")->string;
+    if (ph == "X") ++slices;
+    if (ph == "s") ++flow_starts;
+    if (ph == "f") ++flow_ends;
+    if (ph == "i") ++instants;
+  }
+  EXPECT_EQ(instants, 1);
+  EXPECT_EQ(slices, 2);      // root + child
+  EXPECT_EQ(flow_starts, 1);  // one parent->child arrow
+  EXPECT_EQ(flow_ends, 1);
+}
+
+// --- SloWatchdog -----------------------------------------------------------
+
+TEST(Slo, PolicyAnyAndThroughputBurn) {
+  obs::SloPolicy off;
+  EXPECT_FALSE(off.any());
+
+  obs::SloPolicy p;
+  p.min_throughput_mbps = 100.0;  // 100 MB/s floor
+  p.error_budget = 0.5;
+  ASSERT_TRUE(p.any());
+  obs::SloWatchdog dog(p);
+  common::Histogram none;
+  // Epoch 0: 200 MB in 1 s = 200 MB/s -> ok. Epoch 1: +10 MB -> violation.
+  dog.observe_epoch(sim::kSec, 100, 200'000'000, none, none, 0);
+  dog.observe_epoch(2 * sim::kSec, 150, 210'000'000, none, none, 0);
+  const obs::SloOutcome o = dog.outcome();
+  EXPECT_TRUE(o.active);
+  EXPECT_EQ(o.epochs, 2u);
+  EXPECT_EQ(o.violations, 1u);
+  ASSERT_EQ(o.verdicts.size(), 2u);
+  EXPECT_TRUE(o.verdicts[0].ok);
+  EXPECT_DOUBLE_EQ(o.verdicts[0].throughput_mbps, 200.0);
+  EXPECT_FALSE(o.verdicts[1].ok);
+  EXPECT_EQ(o.verdicts[1].violated, "throughput");
+  EXPECT_EQ(o.verdicts[1].ops, 50u);  // cumulative input, delta verdict
+  // burn = (1/2) / 0.5 = 1.0 -> not breached (budget exactly consumed).
+  EXPECT_DOUBLE_EQ(o.burn_rate, 1.0);
+  EXPECT_FALSE(o.breached);
+}
+
+TEST(Slo, LatencyP99IsWindowExact) {
+  obs::SloPolicy p;
+  p.max_read_p99_ms = 1.0;
+  obs::SloWatchdog dog(p);
+  common::Histogram reads, writes;
+  // Epoch 0: all fast reads (~0.5 ms).
+  for (int i = 0; i < 100; ++i) reads.record(500 * 1000);
+  dog.observe_epoch(sim::kSec, 100, MiB, reads, writes, 0);
+  // Epoch 1: the *new* samples are slow (~8 ms); a cumulative p99 would
+  // still pass, the bucket-exact window delta must flag it.
+  for (int i = 0; i < 100; ++i) reads.record(8 * 1000 * 1000);
+  dog.observe_epoch(2 * sim::kSec, 200, 2 * MiB, reads, writes, 0);
+  const obs::SloOutcome o = dog.outcome();
+  ASSERT_EQ(o.verdicts.size(), 2u);
+  EXPECT_TRUE(o.verdicts[0].ok);
+  EXPECT_FALSE(o.verdicts[1].ok);
+  EXPECT_EQ(o.verdicts[1].violated, "read_p99");
+  EXPECT_GT(o.verdicts[1].read_p99_ms, 1.0);
+}
+
+TEST(Slo, DegradedDomainsAndBreach) {
+  obs::SloPolicy p;
+  p.max_degraded_domains = 0;
+  p.error_budget = 0.1;
+  obs::SloWatchdog dog(p);
+  common::Histogram none;
+  dog.observe_epoch(sim::kSec, 10, MiB, none, none, 0);
+  dog.observe_epoch(2 * sim::kSec, 20, 2 * MiB, none, none, 1);
+  dog.observe_epoch(3 * sim::kSec, 30, 3 * MiB, none, none, 2);
+  const obs::SloOutcome o = dog.outcome();
+  EXPECT_EQ(o.epochs, 3u);
+  EXPECT_EQ(o.violations, 2u);
+  EXPECT_EQ(o.degraded_epochs, 2u);
+  EXPECT_EQ(o.verdicts[1].violated, "degraded");
+  // burn = (2/3)/0.1 >> 1.
+  EXPECT_TRUE(o.breached);
 }
 
 TEST(ObsEndToEnd, ChromeExportOfRealRunParses) {

@@ -25,6 +25,10 @@
 //                        section (the only execution-dependent part, v4);
 //                        with two files, exit 1 on digest mismatch — the CI
 //                        gate for "sharded == serial, bit for bit"
+//   --slo                per-run SLO watchdog summary of every run carrying
+//                        a v5 "slo" block (policy, per-epoch verdicts, burn
+//                        rate); exits 1 when any run's SLO is breached — the
+//                        CI gate for "the run held its service levels"
 //
 // Comparison is by field name, so a v2 baseline checks cleanly against a v3
 // candidate: the added "tenants"/"adapt"/"trace" blocks are simply ignored.
@@ -66,6 +70,7 @@ struct Options {
   std::string csv_dir;
   bool tenants = false;
   bool digest = false;
+  bool slo = false;
   std::string assert_cand;  // --assert-hit-gt: candidate run name
   std::string assert_base;  // --assert-hit-gt: baseline run name
   std::vector<std::string> files;
@@ -88,7 +93,7 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--thr-throughput F] [--thr-p99 F] [--thr-waf F]\n"
       "       %*s [--csv DIR] [--tenants] [--assert-hit-gt CAND BASE]\n"
-      "       %*s [--digest] baseline.json [candidate.json]\n",
+      "       %*s [--digest] [--slo] baseline.json [candidate.json]\n",
       argv0, static_cast<int>(std::strlen(argv0)), "",
       static_cast<int>(std::strlen(argv0)), "");
   return 2;
@@ -116,6 +121,8 @@ bool parse_args(int argc, char** argv, Options* opt) {
       opt->tenants = true;
     } else if (a == "--digest") {
       opt->digest = true;
+    } else if (a == "--slo") {
+      opt->slo = true;
     } else if (a == "--assert-hit-gt") {
       if (i + 2 >= argc) return false;
       opt->assert_cand = argv[++i];
@@ -359,6 +366,60 @@ void print_tenants(const Doc& doc) {
   t.print();
 }
 
+// --slo: per-run verdict table for every run carrying a v5 "slo" block.
+// Returns 1 when any run's SLO counts as breached (burn rate > 1), 0
+// otherwise — the CI gate for "the run held its service levels".
+int print_slo(const Doc& doc) {
+  Table t({"bench", "run", "epochs", "viol", "degr", "burn", "verdict"});
+  size_t rows = 0;
+  int breached = 0;
+  for (const Run& run : doc.runs) {
+    const JsonValue* slo = run.json->find("slo");
+    if (slo == nullptr) continue;
+    const bool bad = slo->number_or("breached", 0.0) != 0.0;
+    if (bad) ++breached;
+    t.add_row({run.bench, run.name, Table::num(slo->number_or("epochs", 0.0), 0),
+               Table::num(slo->number_or("violations", 0.0), 0),
+               Table::num(slo->number_or("degraded_epochs", 0.0), 0),
+               Table::num(slo->number_or("burn_rate", 0.0), 2),
+               bad ? "BREACHED" : "ok"});
+    ++rows;
+  }
+  if (rows == 0) {
+    std::printf("--slo: no runs carry an slo block "
+                "(needs REPRO_SLO_* knobs and schema v5)\n");
+    return 0;
+  }
+  t.print();
+  // Violating epochs, spelled out so the failing window is identifiable
+  // without opening the JSON.
+  for (const Run& run : doc.runs) {
+    const JsonValue* slo = run.json->find("slo");
+    if (slo == nullptr) continue;
+    const JsonValue* verdicts = slo->find("verdicts");
+    if (verdicts == nullptr || !verdicts->is_array()) continue;
+    for (const JsonValue& v : verdicts->array) {
+      if (v.number_or("ok", 1.0) != 0.0) continue;
+      const JsonValue* violated = v.find("violated");
+      std::printf("  %s/%s epoch %.0f: %s (%.1f MB/s, r p99 %.2f ms, "
+                  "w p99 %.2f ms, %0.f degraded)\n",
+                  run.bench.c_str(), run.name.c_str(),
+                  v.number_or("epoch", 0.0),
+                  violated != nullptr ? violated->string.c_str() : "?",
+                  v.number_or("throughput_mbps", 0.0),
+                  v.number_or("read_p99_ms", 0.0),
+                  v.number_or("write_p99_ms", 0.0),
+                  v.number_or("degraded_domains", 0.0));
+    }
+  }
+  if (breached > 0) {
+    std::printf("%d run(s) breached their SLO\n", breached);
+    return 1;
+  }
+  std::printf("all SLOs held\n");
+  return 0;
+}
+
 // --assert-hit-gt: the CI gate. Finds each named run (first match by "name")
 // and demands a strictly higher aggregate hit ratio from the candidate.
 int assert_hit_gt(const Doc& doc, const std::string& cand_name,
@@ -472,6 +533,7 @@ int main(int argc, char** argv) {
   if (opt.tenants) print_tenants(a);
 
   int rc = 0;
+  if (opt.slo) rc = print_slo(a);
   if (!opt.assert_cand.empty()) {
     rc = assert_hit_gt(a, opt.assert_cand, opt.assert_base);
     if (rc == 2) return 2;
