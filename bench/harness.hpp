@@ -169,6 +169,45 @@ inline double repro_span_sample() {
   return r;
 }
 
+// Replacement/admission selection (REPRO_POLICY / REPRO_ADMIT): which
+// eviction scheme GC consults for clean blocks and whether read-miss fills
+// are gated on reuse evidence (src/policy). Same strictness as the numeric
+// knobs — a misspelled policy name must abort, not silently run the paper
+// default and pollute a bake-off.
+inline policy::EvictionKind repro_policy() {
+  static const policy::EvictionKind k = [] {
+    const char* s = std::getenv("REPRO_POLICY");
+    if (s == nullptr || *s == '\0') return policy::EvictionKind::kPaper;
+    const auto parsed = policy::parse_eviction(s);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr,
+                   "REPRO_POLICY=\"%s\" is not one of {paper, s3fifo, "
+                   "sieve}; refusing to run with a misconfigured knob\n",
+                   s);
+      std::exit(2);
+    }
+    return *parsed;
+  }();
+  return k;
+}
+
+inline policy::AdmissionKind repro_admit() {
+  static const policy::AdmissionKind k = [] {
+    const char* s = std::getenv("REPRO_ADMIT");
+    if (s == nullptr || *s == '\0') return policy::AdmissionKind::kAlways;
+    const auto parsed = policy::parse_admission(s);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr,
+                   "REPRO_ADMIT=\"%s\" is not one of {always, ghost}; "
+                   "refusing to run with a misconfigured knob\n",
+                   s);
+      std::exit(2);
+    }
+    return *parsed;
+  }();
+  return k;
+}
+
 // Epoch SLO watchdog targets (REPRO_SLO_*). Unset targets stay disarmed;
 // policy.any() == false means no watchdog hook is installed at all.
 inline obs::SloPolicy repro_slo_policy() {
@@ -243,6 +282,8 @@ inline void validate_repro_knobs() {
   // not silently trace nothing.
   (void)repro_span_sample();
   (void)repro_slo_policy();
+  (void)repro_policy();
+  (void)repro_admit();
 }
 
 // Writes a recorded TraceLog to REPRO_TRACE as Chrome trace-event JSON.
@@ -420,6 +461,10 @@ inline std::unique_ptr<SrcRig> make_src_rig(
 
 inline src::SrcConfig default_src_config() {
   src::SrcConfig cfg;  // paper defaults (Table 7 bold entries)
+  // Benches pass this config into make_src_rig / run_group_sharded, so the
+  // knob-selected policies propagate into every engine domain's stack.
+  cfg.eviction = repro_policy();
+  cfg.admission = repro_admit();
   return cfg;
 }
 

@@ -70,6 +70,10 @@ class GhostCache {
   void new_epoch();
 
   [[nodiscard]] size_t entries() const { return index_.size(); }
+  // Whether the (sampled) lba is currently tracked by the ghost LRU — i.e.
+  // the next access(lba) would be a ghost hit. Read-only; does not touch
+  // recency. Used by policy::GhostAdmission as its reuse evidence.
+  [[nodiscard]] bool contains(u64 lba) const { return index_.contains(lba); }
   [[nodiscard]] u64 max_entries() const { return capacity_; }
   [[nodiscard]] const Config& config() const { return cfg_; }
   // Approximate resident bytes of the ghost structures (for budget tests).

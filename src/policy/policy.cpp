@@ -1,0 +1,272 @@
+#include "policy/policy.hpp"
+
+#include <algorithm>
+
+namespace srcache::policy {
+
+namespace {
+
+// Ghost structures remember roughly one cache's worth of evicted lbas —
+// the standard S3-FIFO setting, and enough reuse history for admission —
+// clamped so tiny test rigs still get a useful window and a huge cache
+// cannot make policy metadata unbounded.
+constexpr u64 kGhostMin = 16;
+constexpr u64 kGhostMax = u64{1} << 20;
+
+u64 ghost_capacity_for(u64 capacity_blocks) {
+  return std::clamp(capacity_blocks, kGhostMin, kGhostMax);
+}
+
+}  // namespace
+
+std::optional<EvictionKind> parse_eviction(const std::string& s) {
+  if (s == "paper") return EvictionKind::kPaper;
+  if (s == "s3fifo") return EvictionKind::kS3Fifo;
+  if (s == "sieve") return EvictionKind::kSieve;
+  return std::nullopt;
+}
+
+std::optional<AdmissionKind> parse_admission(const std::string& s) {
+  if (s == "always") return AdmissionKind::kAlways;
+  if (s == "ghost") return AdmissionKind::kGhost;
+  return std::nullopt;
+}
+
+const char* to_string(EvictionKind k) {
+  switch (k) {
+    case EvictionKind::kPaper: return "paper";
+    case EvictionKind::kS3Fifo: return "s3fifo";
+    case EvictionKind::kSieve: return "sieve";
+  }
+  return "?";
+}
+
+const char* to_string(AdmissionKind k) {
+  switch (k) {
+    case AdmissionKind::kAlways: return "always";
+    case AdmissionKind::kGhost: return "ghost";
+  }
+  return "?";
+}
+
+// --- PaperEviction ---------------------------------------------------------
+
+bool PaperEviction::keep_on_gc(u64 lba, bool hot, bool dirty) {
+  (void)lba;
+  // Sel-GC as written: dirty blocks are copied unconditionally, clean ones
+  // get the hot-flag second chance.
+  const bool keep = dirty || hot;
+  if (keep) {
+    stats_.gc_kept++;
+  } else {
+    stats_.gc_evicted++;
+  }
+  return keep;
+}
+
+// --- S3FifoEviction --------------------------------------------------------
+
+S3FifoEviction::S3FifoEviction(u64 capacity_blocks)
+    : ghost_capacity_(ghost_capacity_for(capacity_blocks)) {}
+
+void S3FifoEviction::ghost_insert(u64 lba) {
+  if (ghost_index_.contains(lba)) return;  // already remembered
+  ghost_fifo_.push_front(lba);
+  ghost_index_.emplace(lba, ghost_fifo_.begin());
+  if (ghost_fifo_.size() > ghost_capacity_) {
+    ghost_index_.erase(ghost_fifo_.back());
+    ghost_fifo_.pop_back();
+  }
+}
+
+void S3FifoEviction::on_admit(u64 lba) {
+  auto [it, inserted] = resident_.try_emplace(lba);
+  if (!inserted) {
+    // Already resident (rewrite of a tracked block): treat as an access.
+    it->second.freq = static_cast<u8>(std::min<u32>(it->second.freq + 1,
+                                                    kFreqCap));
+    return;
+  }
+  const auto ghost = ghost_index_.find(lba);
+  if (ghost != ghost_index_.end()) {
+    // Quick demotion was a mistake for this lba: readmit straight to main,
+    // with one wrap of guaranteed survival — the reuse is proven, and for a
+    // destaged dirty block the readmission already cost a write-back cycle.
+    ghost_fifo_.erase(ghost->second);
+    ghost_index_.erase(ghost);
+    it->second.main = true;
+    it->second.freq = 1;
+    stats_.ghost_hits++;
+  }
+}
+
+void S3FifoEviction::on_access(u64 lba) {
+  const auto it = resident_.find(lba);
+  if (it == resident_.end()) return;
+  it->second.freq = static_cast<u8>(std::min<u32>(it->second.freq + 1,
+                                                  kFreqCap));
+}
+
+bool S3FifoEviction::keep_on_gc(u64 lba, bool hot, bool dirty) {
+  // Survival is decided by observed reuse: a cold dirty block is destaged
+  // by the caller instead of being recopied forever (safe — the destage
+  // lands it on primary storage before the drop). Evicting dirty data is a
+  // full write-back, so cold dirty blocks in small get one promotion
+  // before the verdict lands (destage at the second cold wrap, not the
+  // first), and every dirty eviction enters the ghost: a rewrite after a
+  // destage is reuse evidence worth readmitting straight to main.
+  (void)hot;
+  const auto it = resident_.find(lba);
+  if (it == resident_.end()) {
+    // Not tracked (e.g. resident before a policy switch at recovery): the
+    // conservative verdict is evict — the block is recoverable (refetch
+    // for clean, destage-then-refetch for dirty).
+    stats_.gc_evicted++;
+    ghost_insert(lba);
+    return false;
+  }
+  Entry& e = it->second;
+  if (!e.main) {
+    if (e.freq == 0) {
+      if (dirty) {
+        // Cold dirty in small: promote with one credit — the destage
+        // verdict lands only after two further wraps without reuse.
+        // Evicting dirty data costs a write-back plus a possible
+        // refetch, so it takes more evidence of deadness than a clean
+        // drop does.
+        e.main = true;
+        e.freq = 1;
+        stats_.gc_kept++;
+        return true;
+      }
+      // Never re-accessed while in small: quick demotion to ghost.
+      resident_.erase(it);
+      stats_.gc_evicted++;
+      ghost_insert(lba);
+      return false;
+    }
+    // Survived small with reuse: promote to main.
+    e.main = true;
+    e.freq = 0;
+    stats_.promotions++;
+    stats_.gc_kept++;
+    return true;
+  }
+  if (e.freq > 0) {
+    e.freq--;
+    stats_.gc_kept++;
+    return true;
+  }
+  // Main block whose reuse ran out. Clean main evictions do not enter the
+  // ghost (standard S3-FIFO); dirty ones do, to catch rewrite churn.
+  resident_.erase(it);
+  stats_.gc_evicted++;
+  if (dirty) ghost_insert(lba);
+  return false;
+}
+
+void S3FifoEviction::on_evict(u64 lba) { resident_.erase(lba); }
+
+S3FifoEviction::Queue S3FifoEviction::queue_of(u64 lba) const {
+  const auto it = resident_.find(lba);
+  if (it != resident_.end()) {
+    return it->second.main ? Queue::kMain : Queue::kSmall;
+  }
+  if (ghost_index_.contains(lba)) return Queue::kGhost;
+  return Queue::kNone;
+}
+
+// --- SieveEviction ---------------------------------------------------------
+
+void SieveEviction::on_admit(u64 lba) { visited_.try_emplace(lba, false); }
+
+void SieveEviction::on_access(u64 lba) {
+  const auto it = visited_.find(lba);
+  if (it != visited_.end()) it->second = true;
+}
+
+bool SieveEviction::keep_on_gc(u64 lba, bool hot, bool dirty) {
+  (void)hot;
+  (void)dirty;
+  const auto it = visited_.find(lba);
+  if (it == visited_.end()) {
+    stats_.gc_evicted++;
+    return false;
+  }
+  if (it->second) {
+    // The hand passes: one more life, bit cleared.
+    it->second = false;
+    stats_.gc_kept++;
+    return true;
+  }
+  visited_.erase(it);
+  stats_.gc_evicted++;
+  return false;
+}
+
+void SieveEviction::on_evict(u64 lba) { visited_.erase(lba); }
+
+bool SieveEviction::visited(u64 lba) const {
+  const auto it = visited_.find(lba);
+  return it != visited_.end() && it->second;
+}
+
+// --- AlwaysAdmission -------------------------------------------------------
+
+bool AlwaysAdmission::admit(u64 lba) {
+  (void)lba;
+  stats_.admitted++;
+  return true;
+}
+
+// --- GhostAdmission --------------------------------------------------------
+
+GhostAdmission::GhostAdmission(u64 capacity_blocks)
+    : ghost_capacity_(ghost_capacity_for(capacity_blocks)),
+      ghost_([this] {
+        adapt::GhostCache::Config c;
+        c.sampling_rate = 1.0;  // admission needs exact evidence, not MRCs
+        c.max_entries = ghost_capacity_;
+        c.sizes = {ghost_capacity_};
+        return c;
+      }()) {}
+
+bool GhostAdmission::admit(u64 lba) {
+  const bool seen = ghost_.contains(lba);
+  ghost_.access(lba);
+  if (seen) {
+    stats_.admitted++;
+    stats_.ghost_hits++;
+    return true;
+  }
+  stats_.rejected++;
+  return false;
+}
+
+// --- factories -------------------------------------------------------------
+
+std::unique_ptr<EvictionPolicy> make_eviction(EvictionKind kind,
+                                              u64 capacity_blocks) {
+  switch (kind) {
+    case EvictionKind::kPaper:
+      return std::make_unique<PaperEviction>();
+    case EvictionKind::kS3Fifo:
+      return std::make_unique<S3FifoEviction>(capacity_blocks);
+    case EvictionKind::kSieve:
+      return std::make_unique<SieveEviction>();
+  }
+  return std::make_unique<PaperEviction>();
+}
+
+std::unique_ptr<AdmissionPolicy> make_admission(AdmissionKind kind,
+                                                u64 capacity_blocks) {
+  switch (kind) {
+    case AdmissionKind::kAlways:
+      return std::make_unique<AlwaysAdmission>();
+    case AdmissionKind::kGhost:
+      return std::make_unique<GhostAdmission>(capacity_blocks);
+  }
+  return std::make_unique<AlwaysAdmission>();
+}
+
+}  // namespace srcache::policy

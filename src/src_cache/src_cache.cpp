@@ -63,6 +63,10 @@ std::string SrcConfig::describe() const {
   s += to_string(victim);
   s += ", umax " + std::to_string(static_cast<int>(umax * 100)) + "%, flush ";
   s += to_string(flush_control);
+  s += ", ";
+  s += policy::to_string(eviction);
+  s += "+";
+  s += policy::to_string(admission);
   s += "}";
   return s;
 }
@@ -80,6 +84,8 @@ SrcCache::SrcCache(const SrcConfig& cfg, std::vector<BlockDevice*> ssds,
   }
   sgs_.resize(cfg_.sg_count());
   for (auto& sg : sgs_) sg.segs.resize(cfg_.segments_per_sg());
+  eviction_ = policy::make_eviction(cfg_.eviction, cfg_.capacity_blocks());
+  admission_ = policy::make_admission(cfg_.admission, cfg_.capacity_blocks());
 }
 
 // --- geometry ---------------------------------------------------------------
@@ -234,6 +240,22 @@ void SrcCache::register_metrics(const obs::Scope& scope) {
                     : static_cast<double>(clean_buf_.lbas.size()) /
                           static_cast<double>(cap);
   });
+  // Policy tallies (src/policy). The lambdas read through the unique_ptrs
+  // at snapshot time, so recover() swapping in fresh policies is safe.
+  const obs::Scope ps = scope.scope("policy");
+  ps.counter_fn("gc_kept", [this] { return eviction_->stats().gc_kept; });
+  ps.counter_fn("gc_evicted",
+                [this] { return eviction_->stats().gc_evicted; });
+  ps.counter_fn("promotions",
+                [this] { return eviction_->stats().promotions; });
+  ps.counter_fn("ghost_hits",
+                [this] { return eviction_->stats().ghost_hits; });
+  ps.counter_fn("fills_admitted",
+                [this] { return admission_->stats().admitted; });
+  ps.counter_fn("fills_rejected",
+                [this] { return admission_->stats().rejected; });
+  ps.counter_fn("admit_ghost_hits",
+                [this] { return admission_->stats().ghost_hits; });
   metrics_scope_ = scope;
   tenants_registered_ = 0;
   register_tenant_metrics();
@@ -383,6 +405,7 @@ void SrcCache::stage_dirty(u64 lba, u64 tag, u16 tenant, SimTime now,
       dirty_buf_.causes[e.slot] = static_cast<u8>(cause);
       e.tenant = tenant;
       e.flags |= kFlagHot;
+      if (cause != WriteCause::kGcRewrite) eviction_->on_access(lba);
       return;
     }
     invalidate_slot(lba, e);
@@ -391,6 +414,7 @@ void SrcCache::stage_dirty(u64 lba, u64 tag, u16 tenant, SimTime now,
     e.slot = static_cast<u32>(dirty_buf_.lbas.size());
     e.tenant = tenant;
     e.flags = kFlagDirty | kFlagHot;  // a rewrite makes the block hot
+    if (cause != WriteCause::kGcRewrite) eviction_->on_access(lba);
   } else {
     MapEntry e;
     e.sg = kBufferSg;
@@ -399,6 +423,9 @@ void SrcCache::stage_dirty(u64 lba, u64 tag, u16 tenant, SimTime now,
     e.flags = kFlagDirty;
     map_.emplace(lba, e);
     tenants_[tenant].live_blocks++;
+    // GC rewrites keep their policy entry (the block never left the cache);
+    // everything else is a (re)admission.
+    if (cause != WriteCause::kGcRewrite) eviction_->on_admit(lba);
   }
   dirty_buf_.lbas.push_back(lba);
   dirty_buf_.tags.push_back(tag);
@@ -423,6 +450,7 @@ void SrcCache::stage_clean(u64 lba, u64 tag, u16 tenant, SimTime now,
   e.flags = 0;
   map_.emplace(lba, e);
   tenants_[tenant].live_blocks++;
+  if (cause != WriteCause::kGcRewrite) eviction_->on_admit(lba);
   clean_buf_.lbas.push_back(lba);
   clean_buf_.tags.push_back(tag);
   clean_buf_.tenants.push_back(tenant);
@@ -772,6 +800,7 @@ SimTime SrcCache::do_read(const cache::AppRequest& req) {
     }
     MapEntry& e = it->second;
     e.flags |= kFlagHot;
+    eviction_->on_access(lba);
     stats_.read_hit_blocks++;
     tenants_[tenant].read_hit_blocks++;
     if (e.buffered()) {
@@ -857,8 +886,14 @@ SimTime SrcCache::do_read(const cache::AppRequest& req) {
     if (over_quota(tenant)) {
       tenants_[tenant].fetch_bypass_blocks += cnt;
     } else {
-      for (u32 k = 0; k < cnt; ++k)
+      // Policy admission gate, per block: a rejected fill is served through
+      // without touching flash (the dominant NAND-write saving on
+      // read-heavy traces). The reject itself is evidence — GhostAdmission
+      // remembers the lba and admits its next miss.
+      for (u32 k = 0; k < cnt; ++k) {
+        if (!admission_->admit(lba + k)) continue;
         stage_clean(lba + k, fetched[k], tenant, now, WriteCause::kMissFill);
+      }
     }
   }
   // Clean segment writes happen off the critical path; back-pressure only.

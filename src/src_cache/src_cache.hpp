@@ -16,6 +16,7 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -316,6 +317,12 @@ class SrcCache final : public cache::CacheDevice {
   SrcConfig cfg_;
   std::vector<BlockDevice*> ssds_;
   BlockDevice* primary_;
+
+  // Replacement/admission policies (src/policy), chosen by cfg_.eviction /
+  // cfg_.admission. Recreated cold by recover() and re-seeded from the
+  // rebuilt map, so a crash never carries policy state across the cut.
+  std::unique_ptr<policy::EvictionPolicy> eviction_;
+  std::unique_ptr<policy::AdmissionPolicy> admission_;
 
   std::unordered_map<u64, MapEntry> map_;
   std::vector<SgInfo> sgs_;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "policy/policy.hpp"
 #include "sim/time.hpp"
 
 namespace srcache::src {
@@ -60,6 +61,13 @@ struct SrcConfig {
   VictimPolicy victim = VictimPolicy::kFifo;
   double umax = 0.90;
   FlushControl flush_control = FlushControl::kPerSegmentGroup;
+
+  // Replacement/admission scheme (src/policy): which clean blocks GC keeps
+  // and which read-miss fills are cached. The defaults reproduce the
+  // paper's hard-coded behaviour exactly; the REPRO_POLICY/REPRO_ADMIT
+  // knobs select alternatives for the frontier bake-off.
+  policy::EvictionKind eviction = policy::EvictionKind::kPaper;
+  policy::AdmissionKind admission = policy::AdmissionKind::kAlways;
 
   // Partial-segment timeout: seal a non-empty dirty segment buffer if no
   // write arrives for this long. The paper quotes 20 us (§4.1), which at

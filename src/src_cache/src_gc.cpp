@@ -104,17 +104,27 @@ SimTime SrcCache::reclaim_one(SimTime now, bool force_s2d) {
     const u32 nslots = static_cast<u32>(si.slot_lba.size());
 
     // Per-slot decision. Data is needed for destages and S2S copies; cold
-    // clean blocks are simply dropped (§4.2).
+    // clean blocks are simply dropped (§4.2). The keep-vs-evict verdict is
+    // the eviction policy's call (paper = hot-flag second chance for clean,
+    // unconditional copy for dirty; the modern policies also evict cold
+    // dirty blocks, which destages them below) and is asked exactly once
+    // here — keep_on_gc may transition policy state, and over_quota can
+    // flip while loop 2 drains live_blocks, so re-deriving the decision
+    // later is not allowed. S2D mode and quota sheds bypass the policy:
+    // those are whole-victim decisions, not per-block ones.
     std::vector<char> need(nslots, 0);
+    std::vector<char> keepv(nslots, 0);
     std::vector<u64> tag(nslots, 0);
     for (u32 s = 0; s < nslots; ++s) {
       const u64 lba = si.slot_lba[s];
       if (lba == kDeadSlot) continue;
       const MapEntry& e = map_.at(lba);
-      // Over-quota tenants' clean blocks are shed even when hot: the quota
+      // Over-quota tenants' blocks are shed even when hot: the quota
       // squeeze works by attrition through GC, never by bulk eviction.
-      const bool keep = !use_s2d && (e.dirty() || e.hot()) &&
-                        !(over_quota(e.tenant) && !e.dirty());
+      bool keep = false;
+      if (!use_s2d && !over_quota(e.tenant))
+        keep = eviction_->keep_on_gc(lba, e.hot(), e.dirty());
+      keepv[s] = keep ? 1 : 0;
       need[s] = (e.dirty() || keep) ? 1 : 0;
     }
 
@@ -174,23 +184,28 @@ SimTime SrcCache::reclaim_one(SimTime now, bool force_s2d) {
       tenants_[e.tenant].live_blocks--;
       if (need[k] == 2) {
         if (e.dirty()) extra_.lost_dirty_blocks++;
+        eviction_->on_evict(lba);
         continue;
       }
       const bool shed = over_quota(e.tenant);
       if (e.dirty()) {
         // A squeezed tenant's dirty data is destaged rather than S2S-copied:
-        // safe on primary, and its cache share shrinks.
-        if (use_s2d || shed) {
-          if (!use_s2d) tenants_[e.tenant].gc_shed_blocks++;
+        // safe on primary, and its cache share shrinks. A policy-evicted
+        // dirty block takes the same path — written back once instead of
+        // recopied at every future reclaim.
+        if (use_s2d || shed || !keepv[k]) {
+          if (!use_s2d && shed) tenants_[e.tenant].gc_shed_blocks++;
           destages.push_back({lba, tag[k], e.tenant, true, shed && !use_s2d});
+          eviction_->on_evict(lba);
         } else {
           copies.push_back({lba, tag[k], e.tenant, true, false});
         }
-      } else if (!use_s2d && e.hot() && !shed) {
+      } else if (keepv[k]) {
         copies.push_back({lba, tag[k], e.tenant, false, false});
       } else {
         if (shed && !use_s2d && e.hot()) tenants_[e.tenant].gc_shed_blocks++;
         stats_.dropped_clean_blocks++;
+        eviction_->on_evict(lba);
       }
     }
   }

@@ -43,6 +43,10 @@ Status SrcCache::recover(SimTime now, SimTime* done_out) {
   gen_seq_ = 0;
   seal_seq_ = 0;
   for (TenantStats& ts : tenants_) ts.live_blocks = 0;
+  // Policy state is volatile: start cold and re-seed from the rebuilt map
+  // (step 4) so the policies know exactly the surviving residents.
+  eviction_ = policy::make_eviction(cfg_.eviction, cfg_.capacity_blocks());
+  admission_ = policy::make_admission(cfg_.admission, cfg_.capacity_blocks());
 
   // 3. Scan every segment's MS/ME pair; matching generations mean the
   // segment was written completely (§4.1 failure handling).
@@ -150,6 +154,7 @@ Status SrcCache::recover(SimTime now, SimTime* done_out) {
         e.tenant = si.slot_tenant[slot];
         e.flags = si.type == SegType::kDirty ? kFlagDirty : 0;
         map_.emplace(lba, e);
+        eviction_->on_admit(lba);
         si.live++;
         sg.live++;
         census_add(sg, e.tenant, 1);
@@ -193,6 +198,7 @@ void SrcCache::on_ssd_failure(size_t ssd) {
     invalidate_slot(lba, e);
     map_.erase(lba);
     tenants_[e.tenant].live_blocks--;
+    eviction_->on_evict(lba);
   }
 }
 

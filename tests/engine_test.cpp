@@ -44,13 +44,19 @@ struct TestDomain {
   // reach them.
   std::unique_ptr<obs::TraceLog> trace;
   std::unique_ptr<obs::SpanTracer> spans;
+
+  TestDomain() = default;
+  explicit TestDomain(const src::SrcConfig& c) : rig(c) {}
 };
 
 // Builds domain `index`: a fresh small rig plus two FIO streams whose seeds
 // derive from the domain index, mirroring how the bench harness partitions
-// a trace group.
-DomainSetup make_test_domain(u32 index, u32 num_tenants = 0) {
-  auto holder = std::make_shared<TestDomain>();
+// a trace group. `cfg` overrides the rig's SRC configuration (policy
+// identity tests select eviction/admission through it).
+DomainSetup make_test_domain(u32 index, u32 num_tenants = 0,
+                             const src::SrcConfig& cfg =
+                                 src::testutil::small_config()) {
+  auto holder = std::make_shared<TestDomain>(cfg);
   const u64 span =
       holder->rig.cfg.region_bytes_per_ssd / kBlockSize;  // 1k blocks
   workload::FioGen::Config w;
@@ -132,6 +138,41 @@ TEST(ParallelEngine, BitIdenticalAcrossThreadCounts) {
   const std::string one = fingerprint(run_engine(8, 4, 1));
   const std::string four = fingerprint(run_engine(8, 4, 4));
   EXPECT_EQ(one, four);
+}
+
+// The REPRO_POLICY/REPRO_ADMIT selections must not weaken the determinism
+// contract: for every (eviction, admission) combination, serial, sharded
+// and multi-threaded execution produce byte-identical merged results. Each
+// domain owns its policy instances, so policy state never crosses shards.
+TEST(ParallelEngine, BitIdenticalForEveryPolicyCombination) {
+  std::vector<std::string> prints;
+  for (auto ev : {policy::EvictionKind::kPaper, policy::EvictionKind::kS3Fifo,
+                  policy::EvictionKind::kSieve}) {
+    for (auto ad :
+         {policy::AdmissionKind::kAlways, policy::AdmissionKind::kGhost}) {
+      src::SrcConfig cfg = src::testutil::small_config();
+      cfg.eviction = ev;
+      cfg.admission = ad;
+      const auto make = [&cfg](u32 index, u32) {
+        return make_test_domain(index, 0, cfg);
+      };
+      auto run = [&make](u32 shards, u32 threads) {
+        EngineConfig ec;
+        ec.shards = shards;
+        ec.threads = threads;
+        return fingerprint(ParallelEngine(ec).run(4, make));
+      };
+      const std::string label = std::string(policy::to_string(ev)) + "+" +
+                                policy::to_string(ad);
+      const std::string serial = run(1, 0);
+      EXPECT_EQ(serial, run(4, 1)) << label << " serial vs 4 shards";
+      EXPECT_EQ(serial, run(4, 4)) << label << " serial vs 4x4 threads";
+      prints.push_back(serial);
+    }
+  }
+  // Sanity: a non-default policy actually changes behaviour (otherwise the
+  // identity above would be vacuous). paper+always vs s3fifo+ghost.
+  EXPECT_NE(prints[0], prints[3]);
 }
 
 TEST(ParallelEngine, ShardsBeyondDomainsClampToDomains) {

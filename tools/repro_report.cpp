@@ -29,6 +29,18 @@
 //                        a v5 "slo" block (policy, per-epoch verdicts, burn
 //                        rate); exits 1 when any run's SLO is breached — the
 //                        CI gate for "the run held its service levels"
+//   --frontier           hit-ratio vs NAND-write-amplification view of every
+//                        "<Trace>/<eviction>+<admission>" run (written by
+//                        bench_policy_frontier). NAND WA = SSD pages
+//                        programmed (host + device GC) per application
+//                        block. One document: per-trace Pareto table. Two
+//                        documents: the CI gate — exits 1 when a baseline
+//                        frontier run is missing from the candidate, when a
+//                        policy is Pareto-dominated in the candidate but was
+//                        not in the baseline, or when the paper anchor
+//                        (*/paper+always) regresses its WA beyond --thr-waf
+//   --frontier-csv PATH  write the frontier points (of the candidate when
+//                        two documents are given) as one CSV for artifacts
 //
 // Comparison is by field name, so a v2 baseline checks cleanly against a v3
 // candidate: the added "tenants"/"adapt"/"trace" blocks are simply ignored.
@@ -71,6 +83,8 @@ struct Options {
   bool tenants = false;
   bool digest = false;
   bool slo = false;
+  bool frontier = false;
+  std::string frontier_csv;
   std::string assert_cand;  // --assert-hit-gt: candidate run name
   std::string assert_base;  // --assert-hit-gt: baseline run name
   std::vector<std::string> files;
@@ -93,7 +107,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--thr-throughput F] [--thr-p99 F] [--thr-waf F]\n"
       "       %*s [--csv DIR] [--tenants] [--assert-hit-gt CAND BASE]\n"
-      "       %*s [--digest] [--slo] baseline.json [candidate.json]\n",
+      "       %*s [--digest] [--slo] [--frontier] [--frontier-csv PATH]\n"
+      "           baseline.json [candidate.json]\n",
       argv0, static_cast<int>(std::strlen(argv0)), "",
       static_cast<int>(std::strlen(argv0)), "");
   return 2;
@@ -123,6 +138,11 @@ bool parse_args(int argc, char** argv, Options* opt) {
       opt->digest = true;
     } else if (a == "--slo") {
       opt->slo = true;
+    } else if (a == "--frontier") {
+      opt->frontier = true;
+    } else if (a == "--frontier-csv") {
+      if (i + 1 >= argc) return false;
+      opt->frontier_csv = argv[++i];
     } else if (a == "--assert-hit-gt") {
       if (i + 2 >= argc) return false;
       opt->assert_cand = argv[++i];
@@ -420,6 +440,166 @@ int print_slo(const Doc& doc) {
   return 0;
 }
 
+// --- frontier (hit ratio vs NAND write amplification) ----------------------
+
+// One "<Trace>/<eviction>+<admission>" run reduced to its frontier
+// coordinates. NAND WA counts every page the SSD array programmed (host
+// writes AND device-internal GC copies) per application block served —
+// the endurance price of one unit of traffic.
+struct FrontierPoint {
+  std::string bench;
+  std::string name;
+  std::string trace;   // name before the first '/'
+  std::string policy;  // name after it ("paper+always", ...)
+  double hit = 0.0;
+  double wa = 0.0;
+  double mbps = 0.0;
+  bool dominated = false;
+};
+
+std::vector<FrontierPoint> frontier_points(const Doc& doc) {
+  std::vector<FrontierPoint> pts;
+  for (const Run& run : doc.runs) {
+    const size_t slash = run.name.find('/');
+    if (slash == std::string::npos) continue;
+    const std::string policy = run.name.substr(slash + 1);
+    // Frontier runs are named "<Trace>/<eviction>+<admission>"; the '+'
+    // distinguishes them from other multi-scheme benches ("Write/S2D/FIFO").
+    if (policy.find('+') == std::string::npos) continue;
+    FrontierPoint p;
+    p.bench = run.bench;
+    p.name = run.name;
+    p.trace = run.name.substr(0, slash);
+    p.policy = policy;
+    p.hit = run.json->number_or("hit_ratio", 0.0);
+    p.mbps = run.json->number_or("throughput_mbps", 0.0);
+    double programmed = 0.0;
+    if (const JsonValue* m = run.json->find("metrics")) {
+      if (const JsonValue* c = m->find("counters"); c != nullptr &&
+                                                    c->is_object()) {
+        for (const auto& [key, value] : c->object) {
+          if (key.starts_with("ssd.") && key.ends_with(".pages_programmed"))
+            programmed += value.number;
+        }
+      }
+    }
+    double app = 0.0;
+    if (const JsonValue* c = run.json->find("cache")) {
+      app = c->number_or("app_read_blocks", 0.0) +
+            c->number_or("app_write_blocks", 0.0);
+    }
+    p.wa = app == 0.0 ? 0.0 : programmed / app;
+    pts.push_back(std::move(p));
+  }
+  return pts;
+}
+
+// Pareto dominance with a small material margin: ties (and sub-margin
+// differences, e.g. cross-compiler double noise) never count as dominating,
+// so the gate only fires on genuine frontier shifts.
+constexpr double kHitEps = 1e-4;   // absolute, on hit ratio in [0, 1]
+constexpr double kWaEps = 1e-3;    // relative, on NAND WA
+
+bool dominates(const FrontierPoint& y, const FrontierPoint& x) {
+  const bool no_worse =
+      y.hit >= x.hit - kHitEps && y.wa <= x.wa * (1.0 + kWaEps);
+  const bool strictly_better =
+      y.hit > x.hit + kHitEps || y.wa < x.wa * (1.0 - kWaEps);
+  return no_worse && strictly_better;
+}
+
+// Marks each point dominated/non-dominated within its trace group.
+void mark_dominated(std::vector<FrontierPoint>* pts) {
+  for (FrontierPoint& x : *pts) {
+    x.dominated = false;
+    for (const FrontierPoint& y : *pts) {
+      if (&x == &y || y.trace != x.trace) continue;
+      if (dominates(y, x)) {
+        x.dominated = true;
+        break;
+      }
+    }
+  }
+}
+
+void print_frontier(const std::string& path,
+                    const std::vector<FrontierPoint>& pts) {
+  std::printf("%s  frontier (%zu points; NAND WA = SSD pages programmed per "
+              "app block)\n",
+              path.c_str(), pts.size());
+  Table t({"trace", "policy", "hit", "NAND WA", "MB/s", "pareto"});
+  for (const FrontierPoint& p : pts) {
+    t.add_row({p.trace, p.policy, Table::num(p.hit, 4), Table::num(p.wa, 4),
+               Table::num(p.mbps, 1), p.dominated ? "dominated" : "frontier"});
+  }
+  t.print();
+}
+
+bool write_frontier_csv(const std::string& path,
+                        const std::vector<FrontierPoint>& pts) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "repro_report: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "trace,policy,hit_ratio,nand_wa,throughput_mbps,pareto\n";
+  for (const FrontierPoint& p : pts) {
+    out << p.trace << ',' << p.policy << ',' << p.hit << ',' << p.wa << ','
+        << p.mbps << ',' << (p.dominated ? "dominated" : "frontier") << '\n';
+  }
+  std::printf("wrote %s (%zu points)\n", path.c_str(), pts.size());
+  return true;
+}
+
+// Two-document frontier gate. The committed baseline is the statement of
+// which policies are allowed to be Pareto-dominated; the candidate must not
+// newly dominate away a policy, lose a run, or regress the paper anchor's
+// WA beyond --thr-waf. (A policy dominated in BOTH documents is fine — the
+// baseline already conceded that point.)
+int gate_frontier(const Options& opt, std::vector<FrontierPoint> base,
+                  std::vector<FrontierPoint> cand) {
+  mark_dominated(&base);
+  mark_dominated(&cand);
+  int failures = 0;
+  Table t({"trace", "policy", "check", "baseline", "candidate", "verdict"});
+  for (const FrontierPoint& b : base) {
+    const FrontierPoint* c = nullptr;
+    for (const FrontierPoint& p : cand) {
+      if (p.trace == b.trace && p.policy == b.policy) {
+        c = &p;
+        break;
+      }
+    }
+    if (c == nullptr) {
+      t.add_row({b.trace, b.policy, "present", "yes", "missing", "FAIL"});
+      ++failures;
+      continue;
+    }
+    const bool newly_dominated = c->dominated && !b.dominated;
+    if (newly_dominated) ++failures;
+    t.add_row({b.trace, b.policy, "pareto",
+               b.dominated ? "dominated" : "frontier",
+               c->dominated ? "dominated" : "frontier",
+               newly_dominated ? "FAIL" : "ok"});
+    if (b.policy == "paper+always") {
+      const bool wa_regressed = c->wa > b.wa * (1.0 + opt.thr_waf);
+      if (wa_regressed) ++failures;
+      t.add_row({b.trace, b.policy, "nand_wa", Table::num(b.wa, 4),
+                 Table::num(c->wa, 4), wa_regressed ? "FAIL" : "ok"});
+    }
+  }
+  t.print();
+  std::printf("\nfrontier gate: pareto margin hit±%g wa±%.1f%%, paper WA "
+              "threshold +%.0f%%\n",
+              kHitEps, 100.0 * kWaEps, 100.0 * opt.thr_waf);
+  if (failures > 0) {
+    std::printf("%d frontier failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("frontier holds\n");
+  return 0;
+}
+
 // --assert-hit-gt: the CI gate. Finds each named run (first match by "name")
 // and demands a strictly higher aggregate hit ratio from the candidate.
 int assert_hit_gt(const Doc& doc, const std::string& cand_name,
@@ -524,6 +704,37 @@ int main(int argc, char** argv) {
       std::printf("digests match\n");
     }
     return 0;
+  }
+
+  if (opt.frontier) {
+    std::vector<FrontierPoint> pa = frontier_points(a);
+    mark_dominated(&pa);
+    if (pa.empty()) {
+      std::fprintf(stderr,
+                   "--frontier: no \"<Trace>/<eviction>+<admission>\" runs in "
+                   "%s (run bench_policy_frontier with REPRO_JSON set)\n",
+                   opt.files[0].c_str());
+      return 2;
+    }
+    print_frontier(opt.files[0], pa);
+    int rc = 0;
+    std::vector<FrontierPoint>* csv_pts = &pa;
+    std::vector<FrontierPoint> pb;
+    if (opt.files.size() == 2) {
+      Doc b;
+      if (!load_doc(opt.files[1], &b)) return 2;
+      pb = frontier_points(b);
+      mark_dominated(&pb);
+      std::printf("\n");
+      print_frontier(opt.files[1], pb);
+      std::printf("\n");
+      rc = gate_frontier(opt, pa, pb);
+      csv_pts = &pb;
+    }
+    if (!opt.frontier_csv.empty() &&
+        !write_frontier_csv(opt.frontier_csv, *csv_pts))
+      return 2;
+    return rc;
   }
 
   print_summary(opt.files[0], a);
