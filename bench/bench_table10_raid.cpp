@@ -3,6 +3,11 @@
 // Paper result: RAID-0 best (no redundancy, ~650 MB/s Write), RAID-5
 // slightly above RAID-4 (parity distribution smooths load), RAID-5 about
 // 20% below RAID-0.
+//
+// Runs on the sharded engine (run_group_sharded), so REPRO_SHARDS/
+// REPRO_THREADS parallelize each cell and REPRO_FAULT_PLAN can script a
+// fail/replace/rebuild scenario against any protection level — this is the
+// bench the rebuild CI matrix drives.
 #include "harness.hpp"
 
 using namespace srcache;
@@ -21,8 +26,11 @@ int main() {
                       src::SrcRaidLevel::kRaid5}) {
       src::SrcConfig cfg = default_src_config();
       cfg.raid = raid;
-      auto rig = make_src_rig(cfg, flash::spec_840pro_128(), k);
-      const auto res = run_group(rig->cache.get(), rig->ssd_ptrs(), group, k);
+      const std::string name = std::string(workload::to_string(group)) + "/" +
+                               src::to_string(raid);
+      const auto res = run_group_sharded(cfg, flash::spec_840pro_128(), group,
+                                         k, "table10_raid", /*seed=*/42,
+                                         name.c_str());
       row.push_back(common::Table::num(res.throughput_mbps, 0) + " (" +
                     common::Table::num(res.io_amplification, 2) + ")");
     }

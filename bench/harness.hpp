@@ -29,6 +29,14 @@
 //                       barrier is judged against the targets and the
 //                       verdicts land in the REPRO_JSON "slo" block
 //                       (inspect with tools/repro_report --slo).
+//   REPRO_FAULT_PLAN=<plan>  arm a scripted fault schedule (fault/
+//                       fault_plan.hpp syntax) on every engine domain of a
+//                       run_group_sharded bench; `replace`/`spare` actions
+//                       route to a per-domain background rebuild engine
+//                       (raid/rebuild.hpp) whose outcome lands in the
+//                       REPRO_JSON "rebuild" block.
+//   REPRO_REBUILD_MBPS / REPRO_REBUILD_SPARES  rate-limit the background
+//                       reconstruction stream / size the hot-spare pool.
 #pragma once
 
 #include <cerrno>
@@ -45,6 +53,7 @@
 #include "common/table.hpp"
 #include "engine/engine.hpp"
 #include "cost/cost_model.hpp"
+#include "fault/fault_injector.hpp"
 #include "flash/sim_ssd.hpp"
 #include "hdd/iscsi_target.hpp"
 #include "obs/metrics.hpp"
@@ -53,6 +62,7 @@
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "raid/raid_device.hpp"
+#include "raid/rebuild.hpp"
 #include "src_cache/src_cache.hpp"
 #include "workload/report.hpp"
 #include "workload/runner.hpp"
@@ -208,6 +218,27 @@ inline policy::AdmissionKind repro_admit() {
   return k;
 }
 
+// Scripted fault schedule (REPRO_FAULT_PLAN, fault/fault_plan.hpp syntax),
+// armed per engine domain by run_group_sharded. nullptr = no faults.
+inline const char* repro_fault_plan() {
+  const char* s = std::getenv("REPRO_FAULT_PLAN");
+  return (s == nullptr || *s == '\0') ? nullptr : s;
+}
+
+// Background-rebuild knobs (raid/rebuild.hpp): the reconstruction copy rate
+// limit and the initial hot-spare pool. Parsed with the same strictness as
+// every other knob — REPRO_REBUILD_MBPS=-1 must abort, not silently rebuild
+// at the default rate.
+inline double repro_rebuild_mbps() {
+  static const double r = env_knob("REPRO_REBUILD_MBPS", 256.0, 1e-3, 1e6);
+  return r;
+}
+
+inline u32 repro_rebuild_spares() {
+  static const u32 n = env_knob_u32("REPRO_REBUILD_SPARES", 1, 0, 255);
+  return n;
+}
+
 // Epoch SLO watchdog targets (REPRO_SLO_*). Unset targets stay disarmed;
 // policy.any() == false means no watchdog hook is installed at all.
 inline obs::SloPolicy repro_slo_policy() {
@@ -284,6 +315,20 @@ inline void validate_repro_knobs() {
   (void)repro_slo_policy();
   (void)repro_policy();
   (void)repro_admit();
+  (void)repro_rebuild_mbps();
+  (void)repro_rebuild_spares();
+  // A malformed fault plan must abort before any experiment runs, with the
+  // parser's message naming the offending clause.
+  if (repro_fault_plan() != nullptr) {
+    const auto plan = fault::FaultPlan::parse(repro_fault_plan());
+    if (!plan.is_ok()) {
+      std::fprintf(stderr,
+                   "REPRO_FAULT_PLAN: %s; refusing to run with a "
+                   "misconfigured knob\n",
+                   plan.status().to_string().c_str());
+      std::exit(2);
+    }
+  }
 }
 
 // Writes a recorded TraceLog to REPRO_TRACE as Chrome trace-event JSON.
@@ -611,6 +656,10 @@ inline constexpr u32 kEngineDomains = 8;
 struct EngineDomainRig {
   std::unique_ptr<SrcRig> rig;
   workload::TraceSet set;
+  // Armed only under REPRO_FAULT_PLAN: the domain's scripted injector and
+  // the rebuild engine its replace/spare actions drive.
+  std::unique_ptr<fault::FaultInjector> fault;
+  std::unique_ptr<raid::RebuildManager> rebuild;
 };
 
 // Per-domain seed stream: expand the group seed so domains replay distinct
@@ -637,6 +686,20 @@ inline workload::RunResult run_engine_sharded(
   ecfg.threads = repro_threads();
   engine::ParallelEngine eng(ecfg);
 
+  // Pump every domain's background rebuild at the barrier, so rate-limited
+  // reconstruction advances through op-sparse stretches too. pump(now) is
+  // monotone and idempotent, the barrier time is a fixed window-relative
+  // virtual time, and domains are walked in index order — the hook is a
+  // deterministic function of quiescent domain state, as the engine
+  // contract requires. Registered first so an SLO hook at the same barrier
+  // judges the post-pump state.
+  eng.add_epoch_hook([](const engine::EpochView& v) {
+    for (const auto& dom : *v.domains) {
+      raid::RebuildManager* mgr = dom->config().rebuild;
+      if (mgr != nullptr) mgr->pump(dom->window_start() + v.rel_end);
+    }
+  });
+
   const obs::SloPolicy policy = repro_slo_policy();
   std::shared_ptr<obs::SloWatchdog> watchdog;
   if (policy.any()) {
@@ -652,10 +715,14 @@ inline workload::RunResult run_engine_sharded(
         bytes += dom->bytes();
         reads.merge(dom->latency().reads());
         writes.merge(dom->latency().writes());
-        bool any_failed = false;
+        bool any_degraded = false;
         for (const blockdev::BlockDevice* d : dom->ssds())
-          any_failed = any_failed || d->failed();
-        if (any_failed) ++degraded;
+          any_degraded = any_degraded || d->failed();
+        // A domain mid-rebuild is degraded too: the replacement is installed
+        // but still serves reconstructed reads until the copy completes.
+        const raid::RebuildManager* mgr = dom->config().rebuild;
+        if (mgr != nullptr && mgr->rebuilding()) any_degraded = true;
+        if (any_degraded) ++degraded;
       }
       watchdog->observe_epoch(v.rel_end, ops, bytes, reads, writes, degraded);
     });
@@ -741,6 +808,48 @@ inline workload::RunResult run_group_sharded(const src::SrcConfig& overrides,
       s.cfg.spans = &enable_spans(*holder->rig,
                                   common::SplitMix64(dseed).next(),
                                   repro_span_sample());
+    }
+    if (repro_fault_plan() != nullptr) {
+      // Scripted faults per domain: the plan syntax was validated up front
+      // (validate_repro_knobs); the domain seed feeds the plan's RNG so
+      // seeded-random corruption picks differ (but are fixed) per domain.
+      holder->fault = std::make_unique<fault::FaultInjector>(
+          fault::FaultPlan::parse_or_die(repro_fault_plan(), dseed));
+      holder->fault->attach_ssds(holder->rig->ssd_ptrs());
+      holder->fault->attach_primary(holder->rig->primary.get());
+
+      raid::RebuildConfig rbc;
+      rbc.mbps = repro_rebuild_mbps();
+      rbc.spares = repro_rebuild_spares();
+      holder->rebuild =
+          std::make_unique<raid::RebuildManager>(rbc, holder->rig->ssd_ptrs());
+      src::SrcCache* cache = holder->rig->cache.get();
+      raid::RebuildManager* mgr = holder->rebuild.get();
+      // SRC-aware reconstruction: the cache exports its live-segment map as
+      // the extent source (trimmed/invalid stripes are skipped), diverts
+      // reads of still-blank replacement blocks to the repair path, and
+      // drops-and-counts blocks a second failure makes unrecoverable.
+      mgr->set_extent_source(
+          [cache](size_t dev) { return cache->rebuild_extents(dev); });
+      mgr->set_abort_callback(
+          [cache](size_t dev, const std::vector<raid::RebuildExtent>& lost) {
+            cache->on_rebuild_lost(dev, lost);
+          });
+      mgr->set_provenance(&cache->mutable_provenance());
+      mgr->set_fault_ledger(&holder->fault->ledger());
+      if (holder->rig->spans) mgr->set_span(holder->rig->spans.get());
+      cache->set_rebuild(mgr);
+      holder->fault->set_failure_callback(
+          [cache, mgr](size_t dev, sim::SimTime t) {
+            cache->on_ssd_failure(dev);
+            mgr->on_device_failed(dev, t);
+          });
+      holder->fault->set_replace_callback([mgr](size_t dev, sim::SimTime t) {
+        mgr->on_device_replaced(dev, t);
+      });
+      holder->fault->set_spare_callback([mgr](u32 n) { mgr->add_spares(n); });
+      s.cfg.fault = holder->fault.get();
+      s.cfg.rebuild = mgr;
     }
     if (want_trace && index == 0) {
       // One domain's worth of timeline is what a Chrome trace can usefully

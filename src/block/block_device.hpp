@@ -99,6 +99,12 @@ class BlockDevice {
   virtual void heal() = 0;
   [[nodiscard]] virtual bool failed() const = 0;
 
+  // Physical drive swap: the device comes back serviceable but *blank* —
+  // all stored content and payloads are gone and any internal translation
+  // state is reset, unlike heal(), whose contents survive (a transient
+  // fault). Devices that track no content just heal.
+  virtual void replace_media() { heal(); }
+
   // Silent corruption (paper §4.1 cites Bairavasundaram et al.): flips the
   // stored content of one block without any device-visible error.
   virtual void corrupt(u64 lba) = 0;
@@ -131,5 +137,18 @@ class BlockDevice {
 constexpr u64 make_tag(u64 lba, u64 version) {
   return (version << 40) ^ (lba + 1) * 0x9E3779B97F4A7C15ull;
 }
+
+// A rebuild-in-progress mask over an array of devices. A replaced (blank)
+// member must not serve reads for block ranges the rebuilder has not copied
+// yet — a blank device would happily return tag 0, which is silent
+// corruption. Read paths consult covers(dev, block) and treat covered
+// blocks exactly like a failed device (reconstruct via mirror/parity).
+// Blocks that lost their redundancy to a second failure stay covered
+// forever. Implemented by raid::RebuildManager; declared here so both the
+// RAID layer and the SRC cache can consume it without new dependencies.
+struct RebuildMask {
+  virtual ~RebuildMask() = default;
+  [[nodiscard]] virtual bool covers(size_t dev, u64 block) const = 0;
+};
 
 }  // namespace srcache::blockdev

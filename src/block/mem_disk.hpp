@@ -34,6 +34,11 @@ class MemDisk final : public BlockDevice {
 
   void fail() override { failed_ = true; }
   void heal() override { failed_ = false; }
+  void replace_media() override {
+    failed_ = false;
+    content_.clear();
+    media_.clear();
+  }
   [[nodiscard]] bool failed() const override { return failed_; }
   void corrupt(u64 lba) override { content_.corrupt(lba); }
   void inject_media_errors(u64 lba, u64 n) override { media_.add(lba, n); }

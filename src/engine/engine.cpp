@@ -211,7 +211,9 @@ workload::RunResult merge_results(
     m.fault.injected += p.fault.injected;
     m.fault.detected += p.fault.detected;
     m.fault.repaired += p.fault.repaired;
+    m.fault.repaired_by_rebuild += p.fault.repaired_by_rebuild;
     m.fault.undetected += p.fault.undetected;
+    m.rebuild.merge_add(p.rebuild);
     if (p.fault.first_fault_s >= 0.0 &&
         (m.fault.first_fault_s < 0.0 ||
          p.fault.first_fault_s < m.fault.first_fault_s))

@@ -26,8 +26,18 @@ void FaultInjector::attach_primary(blockdev::BlockDevice* primary) {
   primary_ = primary;
 }
 
-void FaultInjector::set_failure_callback(std::function<void(size_t)> cb) {
+void FaultInjector::set_failure_callback(
+    std::function<void(size_t, sim::SimTime)> cb) {
   on_ssd_failure_ = std::move(cb);
+}
+
+void FaultInjector::set_replace_callback(
+    std::function<void(size_t, sim::SimTime)> cb) {
+  on_ssd_replace_ = std::move(cb);
+}
+
+void FaultInjector::set_spare_callback(std::function<void(u32)> cb) {
+  on_spare_ = std::move(cb);
 }
 
 void FaultInjector::set_powercut_callback(
@@ -70,10 +80,22 @@ void FaultInjector::fire(const FaultEvent& ev, sim::SimTime now) {
       ledger_.record_injected(ev.kind, ev.dev);
       ledger_.record_detected(ev.dev);
       if (ev.dev != kPrimaryDev && on_ssd_failure_)
-        on_ssd_failure_(static_cast<size_t>(ev.dev));
+        on_ssd_failure_(static_cast<size_t>(ev.dev), now);
       break;
     case FaultKind::kHeal:
       if (dev != nullptr) dev->heal();
+      break;
+    case FaultKind::kReplace:
+      // A drive swap is a repair step, not a new fault: no ledger record is
+      // opened here. The earlier fail-stop's device-scope record is marked
+      // repaired by the rebuild manager once reconstruction completes.
+      if (dev == nullptr) return;
+      dev->replace_media();
+      if (ev.dev != kPrimaryDev && on_ssd_replace_)
+        on_ssd_replace_(static_cast<size_t>(ev.dev), now);
+      break;
+    case FaultKind::kSpare:
+      if (on_spare_) on_spare_(static_cast<u32>(ev.count));
       break;
     case FaultKind::kCorrupt: {
       if (dev == nullptr) return;

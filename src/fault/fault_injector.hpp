@@ -32,9 +32,17 @@ class FaultInjector {
   // Borrowed devices; indices match the plan's ssd<i> targets.
   void attach_ssds(std::vector<blockdev::BlockDevice*> ssds);
   void attach_primary(blockdev::BlockDevice* primary);
-  // Invoked with the SSD index after a fail-stop fires (wire to
-  // SrcCache::on_ssd_failure so the array reacts as in §4.3).
-  void set_failure_callback(std::function<void(size_t)> cb);
+  // Invoked with the SSD index and fire time after a fail-stop fires (wire
+  // to SrcCache::on_ssd_failure so the array reacts as in §4.3, and to
+  // raid::RebuildManager::on_device_failed so the degraded clock starts).
+  void set_failure_callback(std::function<void(size_t, sim::SimTime)> cb);
+  // Invoked with the SSD index and fire time after a `replace` action has
+  // installed a blank device (wire to RebuildManager::on_device_replaced so
+  // background reconstruction starts).
+  void set_replace_callback(std::function<void(size_t, sim::SimTime)> cb);
+  // Invoked with the spare count when a `spare` action fires (wire to
+  // RebuildManager::add_spares).
+  void set_spare_callback(std::function<void(u32)> cb);
   // Invoked when a powercut event fires (wire to the crash harness; without
   // a callback the event is recorded but has no device effect).
   void set_powercut_callback(std::function<void(sim::SimTime)> cb);
@@ -72,7 +80,9 @@ class FaultInjector {
 
   std::vector<blockdev::BlockDevice*> ssds_;
   blockdev::BlockDevice* primary_ = nullptr;
-  std::function<void(size_t)> on_ssd_failure_;
+  std::function<void(size_t, sim::SimTime)> on_ssd_failure_;
+  std::function<void(size_t, sim::SimTime)> on_ssd_replace_;
+  std::function<void(u32)> on_spare_;
   std::function<void(sim::SimTime)> on_powercut_;
 
   common::Xoshiro256 rng_;

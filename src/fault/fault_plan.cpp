@@ -14,6 +14,8 @@ const char* to_string(FaultKind k) {
   switch (k) {
     case FaultKind::kFailStop: return "fail";
     case FaultKind::kHeal: return "heal";
+    case FaultKind::kReplace: return "replace";
+    case FaultKind::kSpare: return "spare";
     case FaultKind::kCorrupt: return "corrupt";
     case FaultKind::kLatent: return "latent";
     case FaultKind::kLinkDegrade: return "degrade";
@@ -125,10 +127,11 @@ std::string FaultEvent::describe() const {
     os << "at=" << static_cast<double>(trigger.at_time) / 1e9 << "s";
   }
   os << " " << to_string(kind);
-  if (kind != FaultKind::kPowerCut) {
+  if (kind != FaultKind::kPowerCut && kind != FaultKind::kSpare) {
     os << " dev=" << (dev == kPrimaryDev ? std::string("primary")
                                          : "ssd" + std::to_string(dev));
   }
+  if (kind == FaultKind::kSpare) os << " count=" << count;
   if (kind == FaultKind::kCorrupt || kind == FaultKind::kLatent) {
     os << " lba=" << lba_begin << ".." << lba_end;
     if (count > 0) os << " count=" << count;
@@ -214,6 +217,21 @@ Result<FaultPlan> FaultPlan::parse(const std::string& spec, u64 seed) {
     if (c.action == "fail" || c.action == "heal") {
       ev.kind = c.action == "fail" ? FaultKind::kFailStop : FaultKind::kHeal;
       if (Status s = take_dev(); !s.is_ok()) return s;
+    } else if (c.action == "replace") {
+      ev.kind = FaultKind::kReplace;
+      if (Status s = take_dev(); !s.is_ok()) return s;
+      if (ev.dev == kPrimaryDev)
+        return clause_error(c, "replace targets an SSD, not the primary");
+    } else if (c.action == "spare") {
+      ev.kind = FaultKind::kSpare;
+      ev.count = 1;
+      if (auto it = c.kv.find("count"); it != c.kv.end()) {
+        if (!parse_u64(it->second, &ev.count) || ev.count == 0 ||
+            ev.count > 255) {
+          return clause_error(c, "bad count '" + it->second + "'");
+        }
+        c.kv.erase(it);
+      }
     } else if (c.action == "corrupt" || c.action == "latent") {
       ev.kind = c.action == "corrupt" ? FaultKind::kCorrupt : FaultKind::kLatent;
       if (Status s = take_dev(); !s.is_ok()) return s;

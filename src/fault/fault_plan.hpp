@@ -16,7 +16,13 @@
 //             window) or "ops:1000" (after the 1000th measured request).
 //   actions:
 //     fail     dev=ssd<i>|primary            whole-device fail-stop
-//     heal     dev=ssd<i>|primary            undo an earlier fail
+//     heal     dev=ssd<i>|primary            undo an earlier fail (transient
+//              fault: the device's contents survive)
+//     replace  dev=ssd<i>                    physical drive swap: installs a
+//              blank device (contents cleared, FTL state reset). The rebuild
+//              engine (raid/rebuild.hpp) reconstructs it in the background.
+//     spare    [count=N]                     add N (default 1) hot spares to
+//              the rebuild manager's pool
 //     corrupt  dev=ssd<i> lba=<a>..<b> [count=N]
 //              silent bit flips; all blocks of [a,b), or N seeded-random
 //              picks from it when count is given
@@ -45,6 +51,8 @@ namespace srcache::fault {
 enum class FaultKind : u8 {
   kFailStop,
   kHeal,
+  kReplace,
+  kSpare,
   kCorrupt,
   kLatent,
   kLinkDegrade,

@@ -64,9 +64,22 @@ class FaultLedger {
     return true;
   }
 
+  // Reported by the background rebuild engine when a replaced device has
+  // been fully reconstructed. Counts in its own bucket, distinct from the
+  // on-the-fly refetch/parity repairs above, but still inside `repaired`
+  // so the reconciliation invariants are unchanged.
+  bool record_repaired_by_rebuild(int dev, u64 lba = kDeviceScope) {
+    if (!record_repaired(dev, lba)) return false;
+    repaired_by_rebuild_++;
+    return true;
+  }
+
   [[nodiscard]] u64 injected() const { return injected_; }
   [[nodiscard]] u64 detected() const { return detected_; }
   [[nodiscard]] u64 repaired() const { return repaired_; }
+  [[nodiscard]] u64 repaired_by_rebuild() const {
+    return repaired_by_rebuild_;
+  }
   // Faults injected but never observed by any read/scrub/recovery path.
   [[nodiscard]] u64 undetected() const { return injected_ - detected_; }
 
@@ -76,7 +89,7 @@ class FaultLedger {
 
   void reset() {
     records_.clear();
-    injected_ = detected_ = repaired_ = 0;
+    injected_ = detected_ = repaired_ = repaired_by_rebuild_ = 0;
   }
 
  private:
@@ -88,6 +101,7 @@ class FaultLedger {
   u64 injected_ = 0;
   u64 detected_ = 0;
   u64 repaired_ = 0;
+  u64 repaired_by_rebuild_ = 0;
 };
 
 }  // namespace srcache::fault

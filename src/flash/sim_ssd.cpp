@@ -225,6 +225,19 @@ void SimSsd::precondition() {
   reset_timing();
 }
 
+void SimSsd::replace_media() {
+  // A physical drive swap: the replacement arrives blank with a fresh FTL.
+  // Timing pipelines and cumulative I/O stats belong to the array slot, not
+  // the media, so they survive — provenance balances against cumulative
+  // write_blocks across the swap.
+  failed_ = false;
+  content_.clear();
+  media_.clear();
+  ftl_ = Ftl(ftl_.config());
+  pending_.clear();
+  pending_bytes_ = 0;
+}
+
 void SimSsd::reset_timing() {
   controller_.reset();
   interface_.reset();

@@ -56,6 +56,7 @@ class SimSsd final : public BlockDevice {
 
   void fail() override { failed_ = true; }
   void heal() override { failed_ = false; }
+  void replace_media() override;
   [[nodiscard]] bool failed() const override { return failed_; }
   void corrupt(u64 lba) override { content_.corrupt(lba); }
   void inject_media_errors(u64 lba, u64 n) override { media_.add(lba, n); }

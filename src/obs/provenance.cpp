@@ -13,6 +13,7 @@ const char* to_string(WriteCause c) {
     case WriteCause::kRepairRemap: return "repair_remap";
     case WriteCause::kDestage: return "destage";
     case WriteCause::kQuotaShed: return "quota_shed";
+    case WriteCause::kRebuildCopy: return "rebuild_copy";
   }
   return "?";
 }

@@ -34,8 +34,10 @@ enum class WriteCause : u8 {
   kRepairRemap = 4, // block rewritten after checksum/media-error repair
   kDestage = 5,     // dirty block written back to primary by reclamation
   kQuotaShed = 6,   // write diverted/destaged because a tenant is over quota
+  kRebuildCopy = 7, // block reconstructed onto a replacement device by the
+                    // background rebuild engine (parity/mirror decode)
 };
-inline constexpr size_t kNumWriteCauses = 7;
+inline constexpr size_t kNumWriteCauses = 8;
 
 const char* to_string(WriteCause c);
 

@@ -326,14 +326,19 @@ IoResult RaidDevice::write_parity_level(SimTime now, u64 lba, u32 n,
     const char* strategy = "raid.full_stripe";
 
     if (full) {
+      // Degraded members are skipped: a dead data cell's value lives in
+      // parity (reads reconstruct it), a dead parity chunk simply stays
+      // unwritten until rebuild.
       for (u64 c = 0; c < cols; ++c)
         for (u64 row = 0; row < cfg_.chunk_blocks; ++row) {
           const u64 tag = new_tag[c * cfg_.chunk_blocks + row];
           parity[row] ^= tag;
-          writes.push_back({data_dev(c), dev_off(row), tag});
+          if (!devs_[data_dev(c)]->failed())
+            writes.push_back({data_dev(c), dev_off(row), tag});
         }
-      for (u64 row = 0; row < cfg_.chunk_blocks; ++row)
-        writes.push_back({pdev, dev_off(row), parity[row]});
+      if (!devs_[pdev]->failed())
+        for (u64 row = 0; row < cfg_.chunk_blocks; ++row)
+          writes.push_back({pdev, dev_off(row), parity[row]});
       rstats_.full_stripe_writes++;
     } else {
       // Rows needing a parity update.
@@ -355,6 +360,10 @@ IoResult RaidDevice::write_parity_level(SimTime now, u64 lba, u32 n,
       std::vector<u64> old_vals(stripe_data, 0);
       std::vector<u64> old_parity(cfg_.chunk_blocks, 0);
       const bool use_rmw = written_cells + rows <= untouched_in_rows;
+      // Degraded reconstruct-write: the dead data column (if any) and
+      // whether its untouched cells must be solved from the old parity.
+      size_t dead_col = SIZE_MAX;
+      bool solve_dead = false;
 
       if (use_rmw && !degraded) {
         for (u64 c = 0; c < cols; ++c)
@@ -368,13 +377,34 @@ IoResult RaidDevice::write_parity_level(SimTime now, u64 lba, u32 n,
         strategy = "raid.rmw";
       } else {
         // Reconstruct-write (also the degraded fall-back: read what is
-        // alive, recompute parity from scratch).
+        // alive, recompute parity from scratch). A dead data cell left
+        // untouched in a touched row holds a value only the old parity
+        // remembers — it must be solved from parity + the other cells' old
+        // values, never treated as zero (that would silently destroy it).
+        size_t dead_members = 0;
+        for (size_t d = 0; d < devs_.size(); ++d)
+          if (devs_[d]->failed()) ++dead_members;
+        for (u64 c = 0; c < cols; ++c)
+          if (devs_[data_dev(c)]->failed()) dead_col = c;
+        if (dead_col != SIZE_MAX)
+          for (u64 row = 0; row < cfg_.chunk_blocks; ++row)
+            if (row_touched[row] &&
+                !written[dead_col * cfg_.chunk_blocks + row])
+              solve_dead = true;
+        // With a second member down the lost value is unrecoverable; an
+        // explicit error beats quietly corrupting the stripe.
+        if (solve_dead && dead_members > 1)
+          return {now, ErrorCode::kDeviceFailed};
         for (u64 c = 0; c < cols; ++c)
           for (u64 row = 0; row < cfg_.chunk_blocks; ++row)
-            if (row_touched[row] && !written[c * cfg_.chunk_blocks + row] &&
-                !devs_[data_dev(c)]->failed())
+            if (row_touched[row] && !devs_[data_dev(c)]->failed() &&
+                (solve_dead || !written[c * cfg_.chunk_blocks + row]))
               reads.push_back({data_dev(c), dev_off(row), 0,
                                &old_vals[c * cfg_.chunk_blocks + row]});
+        if (solve_dead)
+          for (u64 row = 0; row < cfg_.chunk_blocks; ++row)
+            if (row_touched[row])
+              reads.push_back({pdev, dev_off(row), 0, &old_parity[row]});
         rstats_.reconstruct_writes++;
         strategy = "raid.reconstruct_write";
       }
@@ -407,7 +437,18 @@ IoResult RaidDevice::write_parity_level(SimTime now, u64 lba, u32 n,
           u64 p = 0;
           for (u64 c = 0; c < cols; ++c) {
             const u64 idx = c * cfg_.chunk_blocks + row;
-            p ^= written[idx] ? new_tag[idx] : old_vals[idx];
+            if (written[idx]) {
+              p ^= new_tag[idx];
+            } else if (c == dead_col && solve_dead) {
+              // The dead cell's value = old parity ^ every other cell's old
+              // value (all read above because solve_dead widened the reads).
+              u64 v = old_parity[row];
+              for (u64 c2 = 0; c2 < cols; ++c2)
+                if (c2 != dead_col) v ^= old_vals[c2 * cfg_.chunk_blocks + row];
+              p ^= v;
+            } else {
+              p ^= old_vals[idx];
+            }
           }
           parity[row] = p;
         }

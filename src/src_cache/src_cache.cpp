@@ -740,6 +740,10 @@ SimTime SrcCache::write_one_segment(SimTime now, bool dirty_type, u64 count) {
     }
   }
   if (fill_span != obs::kNoSpan) span_->end_span(fill_span, done, count);
+  // A fresh stripe just landed on every non-failed device, including a
+  // rebuilding replacement: pending rebuild copies of this chunk are stale.
+  if (rebuild_ != nullptr && point == CrashPoint::kNone)
+    rebuild_->discard(base, cfg_.chunk_blocks());
 
   extra_.segments_written++;
   if (trace_ != nullptr)
@@ -810,9 +814,19 @@ SimTime SrcCache::do_read(const cache::AppRequest& req) {
     }
     const SegmentInfo& si = sgs_[e.sg].segs[e.seg];
     SlotAddr a = addr_of(e.sg, e.seg, e.slot, si);
-    if (ssds_[a.dev]->failed() && a.mirror_dev != SIZE_MAX &&
-        !ssds_[a.mirror_dev]->failed()) {
+    if (dev_dead(a.dev, a.block) && a.mirror_dev != SIZE_MAX &&
+        !dev_dead(a.mirror_dev, a.block)) {
       a.dev = a.mirror_dev;
+    }
+    if (dev_dead(a.dev, a.block)) {
+      // Failed, or a blank replacement not yet rebuilt here — the device
+      // would serve garbage, not an error. Straight to the repair path.
+      SimTime t = now;
+      auto rec = read_slot(now, e.sg, e.seg, e.slot, &t);
+      done = std::max(done, t);
+      if (rec.is_ok() && req.tags_out != nullptr)
+        req.tags_out[i] = rec.value();
+      continue;
     }
     ssd_reads.push_back({a.dev, a.block, i, e.sg, e.seg, e.slot});
   }
@@ -908,7 +922,7 @@ Result<u64> SrcCache::read_slot(SimTime now, u32 sg, u32 seg, u32 slot,
   const SlotAddr a = addr_of(sg, seg, slot, si);
   const u32 want_crc = si.slot_crc[slot];
 
-  if (!ssds_[a.dev]->failed()) {
+  if (!dev_dead(a.dev, a.block)) {
     u64 tag = 0;
     auto r = ssds_[a.dev]->read(now, a.block, 1, std::span<u64>(&tag, 1));
     if (r.ok()) {
@@ -930,7 +944,7 @@ Result<u64> SrcCache::read_slot(SimTime now, u32 sg, u32 seg, u32 slot,
     }
   }
   // Mirror copy (RAID-1).
-  if (a.mirror_dev != SIZE_MAX && !ssds_[a.mirror_dev]->failed()) {
+  if (a.mirror_dev != SIZE_MAX && !dev_dead(a.mirror_dev, a.block)) {
     u64 tag = 0;
     auto r = ssds_[a.mirror_dev]->read(now, a.block, 1, std::span<u64>(&tag, 1));
     if (r.ok() &&
@@ -1025,7 +1039,7 @@ Result<u64> SrcCache::reconstruct_from_stripe(SimTime now, u32 sg, u32 seg,
   SimTime t = now;
   for (size_t d = 0; d < ssds_.size(); ++d) {
     if (d == target.dev) continue;
-    if (ssds_[d]->failed())
+    if (dev_dead(d, block))
       return Status(ErrorCode::kDeviceFailed, "double failure in stripe");
     u64 tag = 0;
     auto r = ssds_[d]->read(now, block, 1, std::span<u64>(&tag, 1));

@@ -28,6 +28,7 @@
 #include "obs/provenance.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
+#include "raid/rebuild.hpp"
 #include "src_cache/segment_meta.hpp"
 #include "src_cache/src_config.hpp"
 
@@ -127,6 +128,25 @@ class SrcCache final : public cache::CacheDevice {
   // parity-protected ones for on-the-fly reconstruction (§4.3).
   void on_ssd_failure(size_t ssd);
 
+  // --- online rebuild (raid/rebuild.hpp) ---
+  // Live-segment map export: the extents a replaced SSD must be rebuilt
+  // from, in device-block order. MS/ME and superblock replicas are
+  // rewritten from in-RAM state; data rows decode via mirror or parity.
+  // Rows without redundancy (NPC clean segments) were already dropped at
+  // fail time and are skipped — the SRC-aware saving over a blind
+  // full-device sweep.
+  [[nodiscard]] std::vector<raid::RebuildExtent> rebuild_extents(
+      size_t dev) const;
+  // Attaches the rebuild engine: its mask diverts reads of not-yet-rebuilt
+  // blocks off the blank replacement, and segment seals / SG trims discard
+  // stale pending stripes. Wire on_rebuild_lost to its abort callback and
+  // rebuild_extents as its extent source.
+  void set_rebuild(raid::RebuildManager* mgr) { rebuild_ = mgr; }
+  // A second failure made `lost` ranges of `dev` unreconstructable: drops
+  // the cached blocks addressed there, counted lost, dirty or clean.
+  void on_rebuild_lost(size_t dev,
+                       const std::vector<raid::RebuildExtent>& lost);
+
   // Proactive integrity scrub: reads and checksum-verifies every live
   // cached block, repairing through parity/mirror/refetch as on the read
   // path (§4.1). Returns per-outcome counts.
@@ -188,6 +208,10 @@ class SrcCache final : public cache::CacheDevice {
   [[nodiscard]] const obs::ProvenanceLedger& provenance() const {
     return ledger_;
   }
+  // Mutable handle for external writers sharing this cache's SSDs: the
+  // background rebuild engine ledgers its spare writes here (rebuild_copy)
+  // so the per-device balance invariant keeps holding during a rebuild.
+  [[nodiscard]] obs::ProvenanceLedger& mutable_provenance() { return ledger_; }
 
  private:
   static constexpr u32 kBufferSg = ~0u;
@@ -309,6 +333,13 @@ class SrcCache final : public cache::CacheDevice {
   [[nodiscard]] u32 pick_victim() const;
 
   // --- bookkeeping ---
+  // True when the block must not be served from the device itself: the
+  // device is failed, or a blank replacement has not been rebuilt here yet
+  // (a masked read would return stale/blank data, not an error).
+  [[nodiscard]] bool dev_dead(size_t dev, u64 block) const {
+    if (ssds_[dev]->failed()) return true;
+    return rebuild_ != nullptr && rebuild_->covers(dev, block);
+  }
   void invalidate_slot(u64 lba, const MapEntry& e);
   void detach(u64 lba, const MapEntry& e);  // invalidate without erasing map
   SimTime flush_all_ssds(SimTime now);
@@ -346,6 +377,7 @@ class SrcCache final : public cache::CacheDevice {
   bool crashed_ = false;
   u64 seal_count_ = 0;
   fault::FaultLedger* fault_ledger_ = nullptr;
+  raid::RebuildManager* rebuild_ = nullptr;
 
   cache::CacheStats stats_;
   ExtraStats extra_;

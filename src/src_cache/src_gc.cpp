@@ -140,9 +140,9 @@ SimTime SrcCache::reclaim_one(SimTime now, bool force_s2d) {
       const SlotAddr a = addr_of(v, g, s, si);
       std::vector<u64> buf(e - s, 0);
       bool slow = false;
-      if (ssds_[a.dev]->failed()) {
-        slow = true;
-      } else {
+      for (u32 k = s; k < e && !slow; ++k)
+        slow = dev_dead(a.dev, a.block + (k - s));
+      if (!slow) {
         auto r = ssds_[a.dev]->read(now, a.block, e - s,
                                     std::span<u64>(buf.data(), buf.size()));
         if (!r.ok()) {
@@ -268,6 +268,8 @@ SimTime SrcCache::reclaim_one(SimTime now, bool force_s2d) {
     auto r = d->trim(t, sg_base_block(v), cfg_.eg_blocks());
     if (r.ok()) t = std::max(t, r.done);
   }
+  // The whole SG is garbage now: pending rebuild copies into it are stale.
+  if (rebuild_ != nullptr) rebuild_->discard(sg_base_block(v), cfg_.eg_blocks());
 
   SgInfo fresh;
   fresh.segs.resize(cfg_.segments_per_sg());

@@ -202,6 +202,109 @@ void SrcCache::on_ssd_failure(size_t ssd) {
   }
 }
 
+std::vector<raid::RebuildExtent> SrcCache::rebuild_extents(size_t dev) const {
+  std::vector<raid::RebuildExtent> ext;
+  const u64 rows = cfg_.slots_per_chunk();
+
+  // Superblock replica (SG 0): rewritten from configuration — it is pure
+  // metadata and every copy is identical.
+  Superblock sb;
+  sb.create_seq = 1;
+  sb.num_ssds = cfg_.num_ssds;
+  sb.erase_group_bytes = cfg_.erase_group_bytes;
+  sb.chunk_bytes = cfg_.chunk_bytes;
+  sb.region_bytes_per_ssd = cfg_.region_bytes_per_ssd;
+  ext.push_back({sg_base_block(0), 1, raid::RebuildHow::kMetadata, SIZE_MAX,
+                 sb.serialize()});
+
+  size_t mirror_partner = SIZE_MAX;
+  if (cfg_.raid == SrcRaidLevel::kRaid1) {
+    const size_t half = cfg_.num_ssds / 2;
+    mirror_partner = dev < half ? dev + half : dev - half;
+  }
+
+  for (u32 s = 1; s < cfg_.sg_count(); ++s) {
+    const SgInfo& sg = sgs_[s];
+    if (sg.state == SgState::kFree) continue;
+    for (u32 g = 0; g < sg.segs.size(); ++g) {
+      const SegmentInfo& si = sg.segs[g];
+      if (si.type == SegType::kNone) continue;
+      const u64 base = chunk_base_block(s, g);
+      // MS/ME replicas are rewritten from in-RAM state (invalidated slots
+      // come back as dead, which only sharpens a later recovery scan).
+      SegmentMeta meta;
+      meta.generation = si.generation;
+      meta.sg = s;
+      meta.seg = g;
+      meta.dirty = si.type == SegType::kDirty;
+      meta.has_parity = si.has_parity;
+      meta.parity_col = si.parity_col;
+      meta.entries.resize(si.slot_lba.size());
+      for (u32 k = 0; k < si.slot_lba.size(); ++k) {
+        meta.entries[k].lba = si.slot_lba[k];
+        meta.entries[k].crc = si.slot_crc[k];
+        meta.entries[k].tenant = si.slot_tenant[k];
+      }
+      meta.is_tail = false;
+      ext.push_back(
+          {base, 1, raid::RebuildHow::kMetadata, SIZE_MAX, meta.serialize()});
+      // Data rows decode only where the stripe carries redundancy. NPC
+      // clean rows were dropped from the map at fail time: nothing live to
+      // restore, the rebuilder skips the whole run.
+      if (cfg_.raid == SrcRaidLevel::kRaid1) {
+        ext.push_back({base + 1, rows, raid::RebuildHow::kMirror,
+                       mirror_partner, nullptr});
+      } else if (si.has_parity) {
+        ext.push_back(
+            {base + 1, rows, raid::RebuildHow::kParityXor, SIZE_MAX, nullptr});
+      }
+      meta.is_tail = true;
+      ext.push_back({base + 1 + rows, 1, raid::RebuildHow::kMetadata, SIZE_MAX,
+                     meta.serialize()});
+    }
+  }
+  return ext;
+}
+
+void SrcCache::on_rebuild_lost(size_t dev,
+                               const std::vector<raid::RebuildExtent>& lost) {
+  const auto in_lost = [&lost](u64 b) {
+    for (const raid::RebuildExtent& ex : lost)
+      if (b >= ex.block && b < ex.block + ex.count) return true;
+    return false;
+  };
+  std::vector<u64> to_drop;
+  for (const auto& [lba, e] : map_) {
+    if (e.buffered()) continue;
+    const SegmentInfo& si = sgs_[e.sg].segs[e.seg];
+    const SlotAddr a = addr_of(e.sg, e.seg, e.slot, si);
+    const bool here = a.dev == dev || a.mirror_dev == dev;
+    if (!here || !in_lost(a.block)) continue;
+    // The copy on `dev` is gone for good; the block survives only if some
+    // other replica can still serve it.
+    bool survivor = false;
+    if (a.dev != dev && !dev_dead(a.dev, a.block)) survivor = true;
+    if (a.mirror_dev != SIZE_MAX && a.mirror_dev != dev &&
+        !dev_dead(a.mirror_dev, a.block))
+      survivor = true;
+    if (!survivor) to_drop.push_back(lba);
+  }
+  for (u64 lba : to_drop) {
+    const MapEntry e = map_.at(lba);
+    if (e.dirty()) {
+      extra_.lost_dirty_blocks++;
+    } else {
+      extra_.lost_clean_blocks++;
+    }
+    invalidate_slot(lba, e);
+    map_.erase(lba);
+    tenants_[e.tenant].live_blocks--;
+    eviction_->on_evict(lba);
+  }
+  if (trace_ != nullptr)
+    trace_->instant("src.rebuild_lost", trace_track_, 0, to_drop.size());
+}
+
 SrcCache::ScrubReport SrcCache::scrub(SimTime now, SimTime* done) {
   ScrubReport rep;
   const auto before = extra_;

@@ -141,6 +141,10 @@ bool ClosedLoop::run_until(sim::SimTime until) {
     if (now >= until) return true;  // barrier reached, more work pending
     heap_.pop();
     if (cfg_.fault != nullptr) cfg_.fault->advance(now, res_.ops);
+    // Background reconstruction interleaves at request granularity: the
+    // pump is monotone and idempotent in `now`, so per-op pumping here and
+    // per-epoch pumping in the engine compose without double-counting.
+    if (cfg_.rebuild != nullptr) cfg_.rebuild->pump(now);
     if (cfg_.adapt != nullptr && cfg_.adapt->epoch_due(now))
       cfg_.adapt->run_epoch(now);
     res_.bytes += issue(now, g, /*measure=*/true);
@@ -235,6 +239,7 @@ RunResult ClosedLoop::finish() {
     fo.injected = led.injected();
     fo.detected = led.detected();
     fo.repaired = led.repaired();
+    fo.repaired_by_rebuild = led.repaired_by_rebuild();
     fo.undetected = led.undetected();
     const sim::SimTime first = cfg_.fault->first_fire_time();
     if (first >= 0) {
@@ -254,6 +259,14 @@ RunResult ClosedLoop::finish() {
     } else {
       fo.healthy_mbps = res_.throughput_mbps;
     }
+  }
+  if (cfg_.rebuild != nullptr) {
+    // Grant the rebuilder the whole window's rate budget (ops may have run
+    // out early), then close any still-open degraded interval at the
+    // nominal window end — both deterministic in virtual time.
+    cfg_.rebuild->pump(window_end());
+    cfg_.rebuild->finalize(window_end());
+    res_.rebuild = cfg_.rebuild->outcome();
   }
   if (cfg_.adapt != nullptr) {
     res_.adapt_epochs = cfg_.adapt->epochs_completed();

@@ -76,12 +76,33 @@ std::string run_json(const std::string& bench, const std::string& name,
     w.kv("injected", r.fault.injected);
     w.kv("detected", r.fault.detected);
     w.kv("repaired", r.fault.repaired);
+    w.kv("repaired_by_rebuild", r.fault.repaired_by_rebuild);
     w.kv("undetected", r.fault.undetected);
     w.kv("first_fault_s", r.fault.first_fault_s);
     w.kv("healthy_mbps", r.fault.healthy_mbps);
     w.kv("degraded_mbps", r.fault.degraded_mbps);
     latency_summary(w, "degraded_read", r.fault.degraded_read_lat);
     latency_summary(w, "degraded_write", r.fault.degraded_write_lat);
+    w.end_object();
+  }
+
+  // v6: background-rebuild outcome, emitted only when a RebuildManager was
+  // attached so v5 documents' shapes stay strict subsets.
+  if (r.rebuild.active) {
+    w.key("rebuild").begin_object();
+    w.kv("rebuilds_started", static_cast<u64>(r.rebuild.rebuilds_started));
+    w.kv("rebuilds_completed", static_cast<u64>(r.rebuild.rebuilds_completed));
+    w.kv("rebuilds_aborted", static_cast<u64>(r.rebuild.rebuilds_aborted));
+    w.kv("spares_total", static_cast<u64>(r.rebuild.spares_total));
+    w.kv("spares_used", static_cast<u64>(r.rebuild.spares_used));
+    w.kv("blocks_at_risk_peak", r.rebuild.blocks_at_risk_peak);
+    w.kv("blocks_copied", r.rebuild.blocks_copied);
+    w.kv("blocks_skipped", r.rebuild.blocks_skipped);
+    w.kv("blocks_unrecovered", r.rebuild.blocks_unrecovered);
+    w.kv("read_bytes", r.rebuild.read_bytes);
+    w.kv("write_bytes", r.rebuild.write_bytes);
+    w.kv("degraded_seconds",
+         static_cast<double>(r.rebuild.degraded_ns) / 1e9);
     w.end_object();
   }
 
@@ -194,7 +215,7 @@ std::string run_json(const std::string& bench, const std::string& name,
 std::string ReproReport::to_json() const {
   obs::JsonWriter w;
   w.begin_object();
-  w.kv("schema", "srcache-repro-v5");
+  w.kv("schema", "srcache-repro-v6");
   w.kv("scale", scale_);
   w.kv("virtual_seconds", virtual_seconds_);
   w.key("runs").begin_array();

@@ -19,6 +19,7 @@
 #include "obs/span.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "raid/rebuild.hpp"
 #include "workload/generators.hpp"
 
 namespace srcache::workload {
@@ -50,6 +51,11 @@ struct RunConfig {
   // before every measured request; RunResult.fault reports the ledger
   // counters and the healthy-vs-degraded split of the window.
   fault::FaultInjector* fault = nullptr;
+  // Optional background rebuild engine (raid/rebuild.hpp). The loop pumps
+  // it before every measured request (and once at the window end), so the
+  // rate-limited reconstruction interleaves with foreground traffic at
+  // request granularity; RunResult.rebuild reports the outcome.
+  raid::RebuildManager* rebuild = nullptr;
   // Multi-tenant: number of tenants to report per-tenant outcomes for
   // (0 = single-tenant, RunResult.tenants stays empty). Requests carrying a
   // larger tenant id are folded into the last slot.
@@ -82,6 +88,9 @@ struct FaultOutcome {
   u64 injected = 0;
   u64 detected = 0;
   u64 repaired = 0;
+  // Of `repaired`: device-scope repairs completed by the background rebuild
+  // engine (a distinct bucket; see FaultLedger::record_repaired_by_rebuild).
+  u64 repaired_by_rebuild = 0;
   u64 undetected = 0;
   // Seconds into the measurement window of the first fired event; < 0 when
   // no event fired (plan empty or triggers past the window).
@@ -155,6 +164,10 @@ struct RunResult {
 
   // Fault-scenario outcome (inactive unless RunConfig::fault was set).
   FaultOutcome fault;
+
+  // Background-rebuild outcome (inactive unless RunConfig::rebuild was
+  // set). Merged across shard domains by RebuildOutcome::merge_add.
+  raid::RebuildOutcome rebuild;
 
   // Write-provenance ledger delta over the measurement window (empty unless
   // RunConfig::provenance was set). Merged exactly across shard domains.

@@ -26,7 +26,7 @@ FaultInjector make_injector(Rig& rig, const std::string& plan, u64 seed = 7) {
   inj.attach_ssds(devs);
   inj.attach_primary(rig.primary.get());
   inj.set_failure_callback(
-      [&rig](size_t ssd) { rig.cache->on_ssd_failure(ssd); });
+      [&rig](size_t ssd, sim::SimTime) { rig.cache->on_ssd_failure(ssd); });
   rig.cache->set_fault_ledger(&inj.ledger());
   return inj;
 }

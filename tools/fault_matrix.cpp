@@ -2,11 +2,15 @@
 //
 // Runs the scripted fault-scenario grid (fail-stop x silent corruption x
 // latent sector errors x link degradation x combinations, across the four
-// stripe organisations of §5.2) plus the crash-consistency sweep
-// (fault/crash_harness.hpp), asserts the §4.3 failure-handling guarantees
-// and the fault-ledger reconciliation invariant
-// (injected == detected + undetected), and writes one machine-readable JSON
-// document for the CI artifact.
+// stripe organisations of §5.2), the hot-spare rebuild grid (fail ->
+// replace -> online reconstruction to completion under full traffic for
+// every protected level, plus a second-failure-during-rebuild case that
+// must surface as detected-unrepairable), and the crash-consistency sweep
+// (fault/crash_harness.hpp). It asserts the §4.3 failure-handling
+// guarantees, the fault-ledger reconciliation invariant
+// (injected == detected + undetected), and the rebuild provenance balance
+// (ledgered rebuild_copy bytes == the spare's rebuild write bytes), and
+// writes one machine-readable JSON document for the CI artifact.
 //
 //   fault_matrix [--out <path>] [--quick]
 //
@@ -24,6 +28,7 @@
 #include "fault/crash_harness.hpp"
 #include "fault/fault_injector.hpp"
 #include "obs/json.hpp"
+#include "raid/rebuild.hpp"
 #include "src_cache/src_cache.hpp"
 #include "workload/generators.hpp"
 #include "workload/report.hpp"
@@ -83,6 +88,13 @@ struct Scenario {
   // Dirty blocks must never be lost (holds for every protected stripe
   // organisation; RAID-0 accepts dirty loss on fail-stop, §4.3).
   bool expect_no_dirty_loss = true;
+  // Hot-spare rebuild scenarios: wire a RebuildManager to the injector's
+  // replace/spare actions and assert the expected end state.
+  bool rebuild = false;
+  bool expect_rebuild_complete = false;  // reconstruction finished cleanly
+  bool expect_unrecoverable = false;     // a second failure lost blocks
+  double rebuild_mbps = 256.0;  // slow rates keep a rebuild window open for
+                                // the second failure to land inside
 };
 
 struct ScenarioOutcome {
@@ -92,6 +104,7 @@ struct ScenarioOutcome {
   src::SrcCache::ScrubReport scrub;
   u64 lost_dirty = 0;
   u64 lost_clean = 0;
+  raid::RebuildOutcome rebuild;
 
   [[nodiscard]] bool ok() const { return violations.empty(); }
 };
@@ -109,9 +122,36 @@ ScenarioOutcome run_scenario(const Scenario& sc) {
   for (auto& s : rig.ssds) devs.push_back(s.get());
   inj.attach_ssds(devs);
   inj.attach_primary(rig.primary.get());
-  inj.set_failure_callback(
-      [&rig](size_t ssd) { rig.cache->on_ssd_failure(ssd); });
   rig.cache->set_fault_ledger(&inj.ledger());
+
+  // Hot-spare rebuild scenarios get the full production wiring: the cache's
+  // SRC-aware extent map feeds the rebuilder, aborted extents flow back as
+  // counted losses, spare writes are ledgered as rebuild_copy provenance,
+  // and a completed rebuild credits the fail-stop's ledger record.
+  std::unique_ptr<raid::RebuildManager> mgr;
+  if (sc.rebuild) {
+    raid::RebuildConfig rbc;
+    rbc.mbps = sc.rebuild_mbps;
+    mgr = std::make_unique<raid::RebuildManager>(rbc, devs);
+    src::SrcCache* cache = rig.cache.get();
+    mgr->set_extent_source(
+        [cache](size_t dev) { return cache->rebuild_extents(dev); });
+    mgr->set_abort_callback(
+        [cache](size_t dev, const std::vector<raid::RebuildExtent>& lost) {
+          cache->on_rebuild_lost(dev, lost);
+        });
+    mgr->set_provenance(&cache->mutable_provenance());
+    mgr->set_fault_ledger(&inj.ledger());
+    cache->set_rebuild(mgr.get());
+    inj.set_replace_callback([&mgr](size_t ssd, sim::SimTime t) {
+      mgr->on_device_replaced(ssd, t);
+    });
+    inj.set_spare_callback([&mgr](u32 n) { mgr->add_spares(n); });
+  }
+  inj.set_failure_callback([&rig, &mgr](size_t ssd, sim::SimTime t) {
+    rig.cache->on_ssd_failure(ssd);
+    if (mgr) mgr->on_device_failed(ssd, t);
+  });
 
   // Write-heavy mixed workload over ~1.5x the cache capacity: forces GC,
   // misses and destages, so faults land on a busy array.
@@ -127,6 +167,7 @@ ScenarioOutcome run_scenario(const Scenario& sc) {
   rc.duration = 120 * sim::kSec;  // op budget is the real stop condition
   rc.max_ops = 6000;
   rc.fault = &inj;
+  rc.rebuild = mgr.get();
   workload::RunResult res = runner.run({&gen}, rc);
 
   if (!res.fault.active) fail("runner did not report a fault outcome");
@@ -159,10 +200,47 @@ ScenarioOutcome run_scenario(const Scenario& sc) {
   const Status audit = rig.cache->verify_consistency();
   if (!audit.is_ok()) fail("post-scenario audit: " + audit.to_string());
 
+  if (sc.rebuild) {
+    out.rebuild = mgr->outcome();
+    if (!res.rebuild.active) fail("runner did not report a rebuild outcome");
+    // Provenance balance: every byte the rebuilder wrote to the spare must
+    // be ledgered as a rebuild_copy write, nothing more, nothing less.
+    const u64 prov = rig.cache->provenance().cause_bytes(
+        obs::WriteCause::kRebuildCopy);
+    if (prov != out.rebuild.write_bytes)
+      fail("rebuild_copy provenance bytes != rebuild write bytes");
+    if (out.rebuild.rebuilds_started == 0)
+      fail("replace action never started a rebuild");
+    if (out.rebuild.degraded_ns == 0)
+      fail("degraded window was not measured");
+    if (sc.expect_rebuild_complete) {
+      if (out.rebuild.rebuilds_completed == 0)
+        fail("rebuild did not complete within the run");
+      if (out.rebuild.blocks_unrecovered != 0)
+        fail("completed rebuild reported unrecovered blocks");
+      if (out.rebuild.blocks_copied == 0 || out.rebuild.write_bytes == 0)
+        fail("completed rebuild copied nothing");
+      if (led.repaired_by_rebuild() == 0)
+        fail("completed rebuild did not credit the ledger's fail-stop record");
+    }
+    if (sc.expect_unrecoverable) {
+      // Second failure during rebuild: single redundancy cannot decode the
+      // still-pending extents. The gate requires the loss to be aborted,
+      // counted, and left detected-unrepairable — never silently served.
+      if (out.rebuild.rebuilds_aborted == 0)
+        fail("second failure did not abort the in-flight rebuild");
+      if (out.rebuild.blocks_unrecovered == 0)
+        fail("second failure during rebuild lost no blocks (window missed)");
+      if (led.detected() <= led.repaired())
+        fail("double fault left no detected-unrepairable ledger records");
+    }
+  }
+
   // Re-read the final ledger state into the result before serializing.
   res.fault.injected = led.injected();
   res.fault.detected = led.detected();
   res.fault.repaired = led.repaired();
+  res.fault.repaired_by_rebuild = led.repaired_by_rebuild();
   res.fault.undetected = led.undetected();
   out.run_json = workload::run_json("fault_matrix", sc.name, res);
   return out;
@@ -224,6 +302,39 @@ std::vector<Scenario> build_grid() {
                   "at=ops:1000 fail dev=ssd1; "
                   "at=ops:1500 corrupt dev=ssd0 " + region + " count=32",
                   /*scrub=*/true, /*expect_detect=*/true, true});
+  // Hot-spare rebuild to completion under full traffic, every protected
+  // level: fail -> replace installs a blank spare -> background
+  // reconstruction finishes inside the run and the post-run scrub reads the
+  // rebuilt device back through the verified path. The raid4 plan also
+  // provisions an extra spare first, exercising the `spare` action.
+  for (const auto& r : raids) {
+    if (r.raid == SrcRaidLevel::kRaid0) continue;  // nothing to rebuild from
+    const bool extra_spare = r.raid == SrcRaidLevel::kRaid4;
+    Scenario sc{std::string("rebuild/") + r.tag, r.raid,
+                std::string(extra_spare ? "at=ops:900 spare count=1; " : "") +
+                    "at=ops:1000 fail dev=ssd1; at=ops:2000 replace dev=ssd1",
+                /*scrub=*/true, /*expect_detect=*/true,
+                /*expect_no_dirty_loss=*/true};
+    sc.rebuild = true;
+    sc.expect_rebuild_complete = true;
+    grid.push_back(std::move(sc));
+  }
+  // Second failure while the rebuild is still running (the vulnerability
+  // window §4.3 warns about): a deliberately slow copy rate keeps pending
+  // extents open when ssd3 dies, so single parity can no longer decode
+  // them. Expected outcome is an aborted rebuild with counted, detected-
+  // unrepairable losses — not completion, and never silent garbage.
+  {
+    Scenario sc{"rebuild-second-fault/raid5", SrcRaidLevel::kRaid5,
+                "at=ops:1000 fail dev=ssd1; at=ops:1500 replace dev=ssd1; "
+                "at=ops:1550 fail dev=ssd3",
+                /*scrub=*/false, /*expect_detect=*/true,
+                /*expect_no_dirty_loss=*/false};
+    sc.rebuild = true;
+    sc.expect_unrecoverable = true;
+    sc.rebuild_mbps = 0.001;  // ~0.26 blocks/s: pending extents stay open
+    grid.push_back(std::move(sc));
+  }
   return grid;
 }
 
@@ -247,7 +358,7 @@ int main(int argc, char** argv) {
   int failures = 0;
   obs::JsonWriter w;
   w.begin_object();
-  w.kv("schema", "srcache-fault-matrix-v1");
+  w.kv("schema", "srcache-fault-matrix-v2");
   w.key("scenarios").begin_array();
 
   for (const Scenario& sc : build_grid()) {
@@ -267,6 +378,11 @@ int main(int argc, char** argv) {
     w.kv("scrub_repaired", out.scrub.repaired);
     w.kv("scrub_refetched", out.scrub.refetched);
     w.kv("scrub_unrecoverable", out.scrub.unrecoverable);
+    w.kv("rebuilds_completed", static_cast<u64>(out.rebuild.rebuilds_completed));
+    w.kv("rebuilds_aborted", static_cast<u64>(out.rebuild.rebuilds_aborted));
+    w.kv("rebuild_blocks_copied", out.rebuild.blocks_copied);
+    w.kv("rebuild_blocks_skipped", out.rebuild.blocks_skipped);
+    w.kv("rebuild_blocks_unrecovered", out.rebuild.blocks_unrecovered);
     w.key("violations").begin_array();
     for (const std::string& v : out.violations) w.value(v);
     w.end_array();
