@@ -4,6 +4,13 @@
 // Paper result: throughput improves as the SG size grows toward the
 // device's erase group (256 MB), while cache-level I/O amplification is
 // lowest at small sizes (small SGs are more often fully dead).
+//
+// Runs on the sharded engine (run_group_sharded): the swept segment-group
+// size is geometry-coupled, so it goes in through make_src_rig's cfg_tweak
+// hook — applied after the per-domain geometry is derived, keeping the
+// cache region fixed while the SG size varies. Sizes are computed against
+// the *domain* geometry (scale k/kEngineDomains), since that is the region
+// each stack actually manages.
 #include "harness.hpp"
 
 using namespace srcache;
@@ -12,13 +19,16 @@ using namespace srcache::bench;
 int main() {
   print_header("Figure 4: impact of erase group size on SRC", "Fig. 4");
   const double k = scale();
-  const Geometry geo = Geometry::at(k);
-  const u64 device_eg = sized_spec(flash::spec_840pro_128(),
-                                   geo.ssd_capacity_bytes)
-                            .erase_group_bytes();
-  std::printf("device erase group: %llu MiB (region fixed at %llu MiB/SSD)\n\n",
-              static_cast<unsigned long long>(device_eg / MiB),
-              static_cast<unsigned long long>(geo.region_bytes_per_ssd / MiB));
+  const double dk = k / kEngineDomains;
+  const Geometry geo = Geometry::at(dk);
+  const u64 device_eg =
+      sized_spec(flash::spec_840pro_128(), geo.ssd_capacity_bytes, dk)
+          .erase_group_bytes();
+  std::printf(
+      "device erase group: %llu MiB (region fixed at %llu MiB/SSD, per "
+      "domain)\n\n",
+      static_cast<unsigned long long>(device_eg / MiB),
+      static_cast<unsigned long long>(geo.region_bytes_per_ssd / MiB));
 
   std::vector<u64> sizes;
   for (u64 s = 2 * MiB; s <= 2 * device_eg && geo.region_bytes_per_ssd % s == 0;
@@ -32,15 +42,14 @@ int main() {
     for (u64 s : sizes) {
       src::SrcConfig cfg = default_src_config();
       cfg.umax = 0.90;
-      auto rig = make_src_rig(cfg, flash::spec_840pro_128(), k);
-      // Override the erase-group choice while keeping the region fixed.
-      src::SrcConfig cfg2 = rig->cache->config();
-      cfg2.erase_group_bytes = s;
-      std::vector<blockdev::BlockDevice*> devs = rig->ssd_ptrs();
-      rig->cache = std::make_unique<src::SrcCache>(cfg2, devs,
-                                                   rig->primary.get());
-      rig->cache->format(0);
-      const auto res = run_group(rig->cache.get(), devs, group, k);
+      const std::string name = std::string(workload::to_string(group)) +
+                               "/sg-" + std::to_string(s / MiB) + "MiB";
+      const auto res = run_group_sharded(
+          cfg, flash::spec_840pro_128(), group, k, "bench_fig4_src_erase_group",
+          42, name.c_str(), -1,
+          [s](src::SrcConfig& c, const Geometry&) {
+            c.erase_group_bytes = s;  // sweep the SG size, region fixed
+          });
       t.add_row({workload::to_string(group), std::to_string(s / MiB),
                  common::Table::num(res.throughput_mbps, 1),
                  common::Table::num(res.io_amplification, 2)});

@@ -3,6 +3,10 @@
 // Paper result: throughput peaks around UMAX = 90% and drops at 95%
 // (keeping hot data pays until the cache is too full to copy); I/O
 // amplification rises monotonically with UMAX.
+//
+// Runs on the sharded engine (run_group_sharded), so REPRO_SHARDS/
+// REPRO_THREADS parallelize the fifteen points and every run lands in
+// REPRO_JSON with the full observability surface.
 #include "harness.hpp"
 
 using namespace srcache;
@@ -19,8 +23,12 @@ int main() {
       src::SrcConfig cfg = default_src_config();
       cfg.gc = src::GcPolicy::kSelGc;
       cfg.umax = umax;
-      auto rig = make_src_rig(cfg, flash::spec_840pro_128(), k);
-      const auto res = run_group(rig->cache.get(), rig->ssd_ptrs(), group, k);
+      const std::string name =
+          std::string(workload::to_string(group)) + "/umax-" +
+          std::to_string(static_cast<int>(umax * 100));
+      const auto res =
+          run_group_sharded(cfg, flash::spec_840pro_128(), group, k,
+                            "bench_fig5_umax", 42, name.c_str());
       t.add_row({workload::to_string(group),
                  std::to_string(static_cast<int>(umax * 100)) + "%",
                  common::Table::num(res.throughput_mbps, 1),

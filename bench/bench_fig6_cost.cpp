@@ -59,7 +59,7 @@ int main() {
   };
 
   common::Table t({"Workload", "Config", "MB/s", "(MB/s)/$", "Lifetime(d)",
-                   "Lifetime(d)/$x100"});
+                   "Lifetime(d)/$x100", "eff GB/$"});
   for (auto group : {workload::TraceGroup::kWrite, workload::TraceGroup::kMixed,
                      workload::TraceGroup::kRead}) {
     for (const auto& p : points) {
@@ -90,11 +90,21 @@ int main() {
       const auto report =
           cost::evaluate(array, res.throughput_mbps, 512e9,
                          std::max(0.25, nand_wa));
+      // Effective cache capacity per dollar: with REPRO_TIER_MB set, the
+      // compressed DRAM tier stretches its budget by the measured
+      // compression ratio and its price is added to the array's.
+      const double eff_gb =
+          res.tier.active
+              ? cost::effective_gb_per_dollar(
+                    array, static_cast<double>(res.tier.budget_bytes),
+                    res.tier.compression_ratio())
+              : array.gb_per_dollar();
       t.add_row({workload::to_string(group), p.spec.name,
                  common::Table::num(report.throughput_mbps, 0),
                  common::Table::num(report.mbps_per_dollar, 2),
                  common::Table::num(report.lifetime_days, 0),
-                 common::Table::num(report.lifetime_days_per_dollar * 100, 1)});
+                 common::Table::num(report.lifetime_days_per_dollar * 100, 1),
+                 common::Table::num(eff_gb, 2)});
     }
   }
   t.print();

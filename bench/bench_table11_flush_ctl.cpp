@@ -3,6 +3,10 @@
 //
 // Paper result: per-segment flushing costs ~10% on Write workloads and
 // more than 40% on Read workloads (flush barriers stall reads too).
+//
+// Runs on the sharded engine (run_group_sharded), so REPRO_SHARDS/
+// REPRO_THREADS parallelize the six points and every run lands in
+// REPRO_JSON with the full observability surface.
 #include "harness.hpp"
 
 using namespace srcache;
@@ -24,8 +28,12 @@ int main() {
                     src::FlushControl::kPerSegmentGroup}) {
       src::SrcConfig cfg = default_src_config();
       cfg.flush_control = fc;
-      auto rig = make_src_rig(cfg, flash::spec_840pro_128(), k);
-      const auto res = run_group(rig->cache.get(), rig->ssd_ptrs(), group, k);
+      const std::string name =
+          std::string(workload::to_string(group)) +
+          (fc == src::FlushControl::kPerSegment ? "/per-seg" : "/per-sg");
+      const auto res =
+          run_group_sharded(cfg, flash::spec_840pro_128(), group, k,
+                            "bench_table11_flush_ctl", 42, name.c_str());
       cells.push_back(common::Table::num(res.throughput_mbps, 0) + " (" +
                       common::Table::num(res.io_amplification, 2) + ")");
     }

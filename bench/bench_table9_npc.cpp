@@ -2,6 +2,10 @@
 //
 // Paper result: NPC beats PC for all groups (508 vs 431 on Write: +18%),
 // because clean segments without parity carry one extra data chunk.
+//
+// Runs on the sharded engine (run_group_sharded), so REPRO_SHARDS/
+// REPRO_THREADS parallelize the six points and every run lands in
+// REPRO_JSON with the full observability surface.
 #include "harness.hpp"
 
 using namespace srcache;
@@ -23,8 +27,12 @@ int main() {
     for (auto mode : {src::CleanRedundancy::kPC, src::CleanRedundancy::kNPC}) {
       src::SrcConfig cfg = default_src_config();
       cfg.clean_redundancy = mode;
-      auto rig = make_src_rig(cfg, flash::spec_840pro_128(), k);
-      const auto res = run_group(rig->cache.get(), rig->ssd_ptrs(), group, k);
+      const std::string name =
+          std::string(workload::to_string(group)) +
+          (mode == src::CleanRedundancy::kPC ? "/pc" : "/npc");
+      const auto res =
+          run_group_sharded(cfg, flash::spec_840pro_128(), group, k,
+                            "bench_table9_npc", 42, name.c_str());
       mbps[idx] = res.throughput_mbps;
       amp[idx] = res.io_amplification;
       ++idx;

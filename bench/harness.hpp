@@ -43,6 +43,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -64,6 +65,7 @@
 #include "raid/raid_device.hpp"
 #include "raid/rebuild.hpp"
 #include "src_cache/src_cache.hpp"
+#include "tier/tier_cache.hpp"
 #include "workload/report.hpp"
 #include "workload/runner.hpp"
 #include "workload/trace_synth.hpp"
@@ -218,6 +220,45 @@ inline policy::AdmissionKind repro_admit() {
   return k;
 }
 
+// Compressed-DRAM-tier knobs (src/tier). REPRO_TIER_MB=0 (the default)
+// runs without a tier; >0 fronts every engine domain's SRC stack with a
+// compressed DRAM cache whose budgets sum to that many MiB across the
+// domain partition. The dependent knobs select the tier's eviction policy,
+// its dirty-share bound and the simulated compressor's per-byte CPU charge;
+// setting any of them without REPRO_TIER_MB aborts (validate_repro_knobs)
+// because the run would silently ignore them.
+inline u32 repro_tier_mb() {
+  static const u32 n = env_knob_u32("REPRO_TIER_MB", 0, 0, 1u << 20);
+  return n;
+}
+
+inline policy::EvictionKind repro_tier_policy() {
+  static const policy::EvictionKind k = [] {
+    const char* s = std::getenv("REPRO_TIER_POLICY");
+    if (s == nullptr || *s == '\0') return policy::EvictionKind::kPaper;
+    const auto parsed = policy::parse_eviction(s);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr,
+                   "REPRO_TIER_POLICY=\"%s\" is not one of {paper, s3fifo, "
+                   "sieve}; refusing to run with a misconfigured knob\n",
+                   s);
+      std::exit(2);
+    }
+    return *parsed;
+  }();
+  return k;
+}
+
+inline u32 repro_tier_dirty_pct() {
+  static const u32 n = env_knob_u32("REPRO_TIER_DIRTY_PCT", 50, 0, 100);
+  return n;
+}
+
+inline double repro_tier_cpu_nspb() {
+  static const double r = env_knob("REPRO_TIER_CPU_NSPB", 1.0, 0.0, 1000.0);
+  return r;
+}
+
 // Scripted fault schedule (REPRO_FAULT_PLAN, fault/fault_plan.hpp syntax),
 // armed per engine domain by run_group_sharded. nullptr = no faults.
 inline const char* repro_fault_plan() {
@@ -317,6 +358,25 @@ inline void validate_repro_knobs() {
   (void)repro_admit();
   (void)repro_rebuild_mbps();
   (void)repro_rebuild_spares();
+  // Tier knobs: force strict parsing, then refuse dependent knobs that a
+  // tier-less run would silently ignore — a bake-off that thinks it swept
+  // REPRO_TIER_POLICY but never enabled the tier is worse than no run.
+  (void)repro_tier_policy();
+  (void)repro_tier_dirty_pct();
+  (void)repro_tier_cpu_nspb();
+  if (repro_tier_mb() == 0) {
+    for (const char* dep :
+         {"REPRO_TIER_POLICY", "REPRO_TIER_DIRTY_PCT", "REPRO_TIER_CPU_NSPB"}) {
+      if (std::getenv(dep) != nullptr) {
+        std::fprintf(stderr,
+                     "%s is set but REPRO_TIER_MB is 0/unset: the compressed "
+                     "DRAM tier is disabled, so the knob would be silently "
+                     "ignored. Set REPRO_TIER_MB>0 or unset %s.\n",
+                     dep, dep);
+        std::exit(2);
+      }
+    }
+  }
   // A malformed fault plan must abort before any experiment runs, with the
   // parser's message naming the offending clause.
   if (repro_fault_plan() != nullptr) {
@@ -474,9 +534,15 @@ inline std::unique_ptr<hdd::IscsiTarget> make_primary(double k) {
 }
 
 // Builds the full SRC stack: 4 preconditioned SSDs + iSCSI primary.
+// `cfg_tweak`, when set, runs after the geometry-derived fields are filled
+// in and before the cache is built — the hook a bench uses to sweep a
+// geometry-coupled parameter (e.g. Fig. 4's erase-group size) without
+// make_src_rig overwriting it.
 inline std::unique_ptr<SrcRig> make_src_rig(
     const src::SrcConfig& overrides, const flash::SsdSpec& base_spec,
-    double k = scale(), bool precondition = true) {
+    double k = scale(), bool precondition = true,
+    const std::function<void(src::SrcConfig&, const Geometry&)>& cfg_tweak =
+        {}) {
   auto rig = std::make_unique<SrcRig>();
   rig->geo = Geometry::at(k);
 
@@ -486,6 +552,7 @@ inline std::unique_ptr<SrcRig> make_src_rig(
   cfg.region_bytes_per_ssd = rig->geo.region_bytes_per_ssd;
   cfg.verify_checksums = false;  // perf runs use non-tracking devices
   cfg.twait = 10 * sim::kMs;     // see EXPERIMENTS.md (paper: 20 us)
+  if (cfg_tweak) cfg_tweak(cfg, rig->geo);
 
   const flash::SsdSpec spec = sized_spec(base_spec, rig->geo.ssd_capacity_bytes);
   for (u32 i = 0; i < cfg.num_ssds; ++i) {
@@ -660,6 +727,9 @@ struct EngineDomainRig {
   // the rebuild engine its replace/spare actions drive.
   std::unique_ptr<fault::FaultInjector> fault;
   std::unique_ptr<raid::RebuildManager> rebuild;
+  // Armed only with a tier budget (REPRO_TIER_MB or a bench override): the
+  // compressed DRAM tier fronting this domain's SRC stack.
+  std::unique_ptr<tier::TierCache> tier;
 };
 
 // Per-domain seed stream: expand the group seed so domains replay distinct
@@ -771,23 +841,31 @@ inline workload::RunResult run_engine_sharded(
 // merged result; wall-clock numbers go to the REPRO_JSON "perf" section and
 // stdout. `name_override` labels the run in reports (default: the group
 // name), letting one bench report several schemes over the same group.
-inline workload::RunResult run_group_sharded(const src::SrcConfig& overrides,
-                                             const flash::SsdSpec& base_spec,
-                                             workload::TraceGroup group,
-                                             double k, const char* bench,
-                                             u64 seed = 42,
-                                             const char* name_override =
-                                                 nullptr) {
+// `tier_mb` overrides the compressed-DRAM-tier budget: -1 follows the
+// REPRO_TIER_MB knob, 0 forces the tier off, >0 forces that many MiB summed
+// across the domain partition — bench_tier uses the override to A/B
+// tier-on/tier-off in one process. `cfg_tweak` is forwarded to every
+// domain's make_src_rig (see there).
+inline workload::RunResult run_group_sharded(
+    const src::SrcConfig& overrides, const flash::SsdSpec& base_spec,
+    workload::TraceGroup group, double k, const char* bench, u64 seed = 42,
+    const char* name_override = nullptr, i64 tier_mb = -1,
+    const std::function<void(src::SrcConfig&, const Geometry&)>& cfg_tweak =
+        {}) {
   const double dk = k / kEngineDomains;
   const bool want_trace = repro_trace_path() != nullptr;
+  const u64 tier_bytes =
+      (tier_mb < 0 ? static_cast<u64>(repro_tier_mb())
+                   : static_cast<u64>(tier_mb)) *
+      MiB;
   // Keeps domain 0's rig (the only traced one) alive past the engine run so
   // the trace can be written afterwards.
   std::shared_ptr<EngineDomainRig> traced;
 
   const auto factory = [&overrides, &base_spec, group, dk, seed, want_trace,
-                        &traced](u32 index, u32 count) {
+                        tier_bytes, &cfg_tweak, &traced](u32 index, u32 count) {
     auto holder = std::make_shared<EngineDomainRig>();
-    holder->rig = make_src_rig(overrides, base_spec, dk);
+    holder->rig = make_src_rig(overrides, base_spec, dk, true, cfg_tweak);
     const Geometry geo = holder->rig->geo;
     const u64 dseed = domain_seed(seed, index);
     holder->set =
@@ -804,6 +882,23 @@ inline workload::RunResult run_group_sharded(const src::SrcConfig& overrides,
     s.cfg.registry = &holder->rig->registry;
     s.cfg.timeseries_interval = repro_timeseries_interval();
     s.cfg.provenance = &holder->rig->cache->provenance();
+    if (tier_bytes > 0) {
+      // One tier per domain, budget split evenly — the same 1/kEngineDomains
+      // scaling every other capacity gets, so pressure ratios are preserved
+      // and the merged outcome stays bit-identical across shard counts.
+      tier::TierConfig tc;
+      tc.budget_bytes = std::max<u64>(kBlockSize, tier_bytes / kEngineDomains);
+      tc.dirty_pct = repro_tier_dirty_pct();
+      tc.eviction = repro_tier_policy();
+      tc.cpu_ns_per_byte = repro_tier_cpu_nspb();
+      tc.destage_batch_blocks = static_cast<u32>(
+          holder->rig->cache->config().segment_data_slots(true));
+      holder->tier = std::make_unique<tier::TierCache>(
+          tc, holder->rig->cache.get(), holder->rig->cache.get());
+      holder->tier->register_metrics(obs::Scope(holder->rig->registry, "tier"));
+      s.cache = holder->tier.get();
+      s.cfg.tier = holder->tier.get();
+    }
     if (repro_span_sample() > 0.0) {
       s.cfg.spans = &enable_spans(*holder->rig,
                                   common::SplitMix64(dseed).next(),
@@ -848,6 +943,15 @@ inline workload::RunResult run_group_sharded(const src::SrcConfig& overrides,
         mgr->on_device_replaced(dev, t);
       });
       holder->fault->set_spare_callback([mgr](u32 n) { mgr->add_spares(n); });
+      if (holder->tier) {
+        // DRAM vanishes at a power cut: dirty tier blocks are counted lost
+        // and ledgered as injected+detected data loss, never silently
+        // dropped (tier::TierCache::on_power_cut).
+        holder->tier->set_fault_ledger(&holder->fault->ledger());
+        tier::TierCache* tcache = holder->tier.get();
+        holder->fault->set_powercut_callback(
+            [tcache](sim::SimTime t) { tcache->on_power_cut(t); });
+      }
       s.cfg.fault = holder->fault.get();
       s.cfg.rebuild = mgr;
     }
@@ -934,6 +1038,14 @@ inline void print_header(const char* experiment, const char* paper_ref) {
   }
   if (repro_span_sample() > 0.0) {
     std::printf("span_sample=%.3g (REPRO_SPAN_SAMPLE)\n", repro_span_sample());
+  }
+  if (repro_tier_mb() > 0) {
+    std::printf(
+        "tier=%u MiB (REPRO_TIER_MB), policy=%s (REPRO_TIER_POLICY), "
+        "dirty<=%u%% (REPRO_TIER_DIRTY_PCT), cpu=%.3g ns/B "
+        "(REPRO_TIER_CPU_NSPB)\n",
+        repro_tier_mb(), policy::to_string(repro_tier_policy()),
+        repro_tier_dirty_pct(), repro_tier_cpu_nspb());
   }
   std::printf("\n");
 }

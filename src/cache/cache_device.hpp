@@ -17,6 +17,10 @@ struct AppRequest {
   u64 lba = 0;     // 4 KiB block address in primary-storage space
   u32 nblocks = 1;
   u32 tenant = 0;  // owning tenant in multi-tenant runs (0 otherwise)
+  // Compressed size of each block as a percentage of kBlockSize, stamped by
+  // the workload layer (deterministic per LBA). 0 means "unknown" — a
+  // compressed tier treats such blocks as incompressible.
+  u8 comp_pct = 0;
   // Optional content: `tags` supplies one tag per block on writes;
   // `tags_out` (capacity nblocks) receives block content on reads. Both may
   // be null for performance-only runs.

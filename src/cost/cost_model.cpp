@@ -24,4 +24,24 @@ CostReport evaluate(const ArrayConfig& array, double throughput_mbps,
   return r;
 }
 
+double effective_capacity_bytes(const ArrayConfig& array,
+                                double tier_budget_bytes,
+                                double compression_ratio) {
+  if (tier_budget_bytes < 0.0 || compression_ratio <= 0.0 ||
+      compression_ratio > 1.0)
+    throw std::invalid_argument("effective_capacity_bytes: bad tier inputs");
+  return array.total_capacity_bytes() + tier_budget_bytes / compression_ratio;
+}
+
+double effective_gb_per_dollar(const ArrayConfig& array,
+                               double tier_budget_bytes,
+                               double compression_ratio,
+                               double dram_usd_per_gb) {
+  const double capacity =
+      effective_capacity_bytes(array, tier_budget_bytes, compression_ratio);
+  const double price =
+      array.total_price() + tier_budget_bytes / 1e9 * dram_usd_per_gb;
+  return capacity / 1e9 / price;
+}
+
 }  // namespace srcache::cost

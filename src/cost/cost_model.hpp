@@ -43,4 +43,27 @@ double lifetime_days(const ArrayConfig& array, double daily_write_bytes,
 CostReport evaluate(const ArrayConfig& array, double throughput_mbps,
                     double daily_write_bytes, double write_amplification);
 
+// --- compressed DRAM tier economics (src/tier) ---
+
+// Server DRAM street price used when a compressed tier fronts the array.
+// Deliberately a constant, like SsdSpec::price_usd: the model compares
+// configurations, it does not track spot markets.
+inline constexpr double kDramUsdPerGb = 4.0;
+
+// Effective cache capacity of flash + compressed DRAM tier, in bytes: the
+// tier's DRAM budget stretches by the measured compression ratio
+// (compressed/uncompressed, in (0, 1]), so 64 GB of DRAM at ratio 0.5 adds
+// 128 GB of logical reach.
+double effective_capacity_bytes(const ArrayConfig& array,
+                                double tier_budget_bytes,
+                                double compression_ratio);
+
+// The Fig. 6-style cost-effectiveness of that combination: effective
+// gigabytes per dollar of (flash price + DRAM price). A tier pays for
+// itself when this exceeds the array's bare gb_per_dollar().
+double effective_gb_per_dollar(const ArrayConfig& array,
+                               double tier_budget_bytes,
+                               double compression_ratio,
+                               double dram_usd_per_gb = kDramUsdPerGb);
+
 }  // namespace srcache::cost

@@ -214,6 +214,7 @@ workload::RunResult merge_results(
     m.fault.repaired_by_rebuild += p.fault.repaired_by_rebuild;
     m.fault.undetected += p.fault.undetected;
     m.rebuild.merge_add(p.rebuild);
+    m.tier.merge_add(p.tier);
     if (p.fault.first_fault_s >= 0.0 &&
         (m.fault.first_fault_s < 0.0 ||
          p.fault.first_fault_s < m.fault.first_fault_s))

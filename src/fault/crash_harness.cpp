@@ -7,6 +7,7 @@
 
 #include "block/mem_disk.hpp"
 #include "common/rng.hpp"
+#include "tier/tier_cache.hpp"
 
 namespace srcache::fault {
 
@@ -34,6 +35,7 @@ struct Op {
   bool is_write = false;
   u64 lba = 0;
   u32 nblocks = 1;
+  u8 comp_pct = 60;       // per-op compressibility stamp (tier replays)
   std::vector<u64> tags;  // writes only
 };
 
@@ -82,6 +84,9 @@ Script make_script(const CrashSweepConfig& cfg) {
     op.is_write = rng.below(1000) < write_permille;
     op.nblocks = 1 + static_cast<u32>(rng.below(4));
     op.lba = rng.below(ws - op.nblocks);
+    // 20..100%: mostly compressible, with a tail above the tier's
+    // incompressible threshold so the bypass path gets exercised too.
+    op.comp_pct = static_cast<u8>(20 + rng.below(81));
     if (op.is_write) {
       for (u32 k = 0; k < op.nblocks; ++k) {
         const u64 tag = blockdev::make_tag(op.lba + k, ++version);
@@ -100,9 +105,13 @@ struct Rig {
   std::vector<std::unique_ptr<MemDisk>> ssds;
   std::unique_ptr<MemDisk> primary;
   std::unique_ptr<SrcCache> cache;
+  std::unique_ptr<tier::TierCache> tier;  // optional DRAM tier above cache
   src::SrcConfig cfg;
+  u64 tier_budget;
+  u32 tier_dirty_pct;
 
-  explicit Rig(const src::SrcConfig& c) : cfg(c) {
+  Rig(const src::SrcConfig& c, u64 tier_budget_bytes, u32 dirty_pct)
+      : cfg(c), tier_budget(tier_budget_bytes), tier_dirty_pct(dirty_pct) {
     MemDiskConfig fast;
     fast.capacity_blocks =
         cfg.region_start_block + cfg.region_bytes_per_ssd / kBlockSize + 64;
@@ -121,16 +130,32 @@ struct Rig {
   }
 
   // Reboot: all in-memory cache state is discarded, the media survives.
+  // The DRAM tier does not survive a reboot — post-recovery reads go
+  // straight to the rebuilt cache.
   void reattach() {
+    tier.reset();
     std::vector<blockdev::BlockDevice*> devs;
     for (auto& s : ssds) devs.push_back(s.get());
     cache = std::make_unique<SrcCache>(cfg, devs, primary.get());
+    if (tier_budget > 0) {
+      tier::TierConfig tc;
+      tc.budget_bytes = tier_budget;
+      tc.dirty_pct = tier_dirty_pct;
+      tc.destage_batch_blocks =
+          static_cast<u32>(cfg.segment_data_slots(true));
+      tier = std::make_unique<tier::TierCache>(tc, cache.get(), cache.get());
+    }
   }
 };
 
 // Replays the script until done or the scheduled power cut fires. Returns
-// the number of ops issued (the crashing op counts as issued).
+// the number of ops issued (the crashing op counts as issued). With a tier,
+// requests enter through it — the cut can then fire mid-destage, while the
+// crashed inner cache drops everything else the tier pushes down.
 u64 replay(Rig& rig, const Script& sc) {
+  cache::CacheDevice* front =
+      rig.tier != nullptr ? static_cast<cache::CacheDevice*>(rig.tier.get())
+                          : rig.cache.get();
   sim::SimTime now = 1;
   u64 issued = 0;
   for (const Op& op : sc.ops) {
@@ -139,8 +164,9 @@ u64 replay(Rig& rig, const Script& sc) {
     req.is_write = op.is_write;
     req.lba = op.lba;
     req.nblocks = op.nblocks;
+    req.comp_pct = op.comp_pct;
     if (op.is_write) req.tags = op.tags.data();
-    rig.cache->submit(req);
+    front->submit(req);
     issued++;
     if (rig.cache->crashed()) break;
     now += 50 * sim::kUs;
@@ -197,9 +223,11 @@ CrashSweepResult run_crash_sweep(const CrashSweepConfig& cfg) {
   const Script script = make_script(cfg);
 
   // Baseline pass enumerates the power-cut boundaries: one per segment seal.
+  // The tier (if any) is present here too, so the seal schedule matches the
+  // crashing replays exactly.
   u64 total_seals = 0;
   {
-    Rig rig(sc_cfg);
+    Rig rig(sc_cfg, cfg.tier_budget_bytes, cfg.tier_dirty_pct);
     replay(rig, script);
     total_seals = rig.cache->seals();
   }
@@ -214,6 +242,7 @@ CrashSweepResult run_crash_sweep(const CrashSweepConfig& cfg) {
     stride = (total_seals + cfg.max_boundaries - 1) / cfg.max_boundaries;
 
   FaultLedger ledger;
+  FaultLedger tier_ledger;  // one injected+detected pair per lost dirty block
   // Per LBA, the version index durably recovered at the previous boundary;
   // monotone durability means it never decreases as the cut moves later.
   std::map<u64, long> durable_floor;
@@ -229,13 +258,21 @@ CrashSweepResult run_crash_sweep(const CrashSweepConfig& cfg) {
       res.cases++;
       ledger.record_injected(FaultKind::kPowerCut, kPrimaryDev, case_id);
 
-      Rig rig(sc_cfg);
+      Rig rig(sc_cfg, cfg.tier_budget_bytes, cfg.tier_dirty_pct);
+      if (rig.tier != nullptr) rig.tier->set_fault_ledger(&tier_ledger);
       rig.cache->schedule_crash(b, point);
       const u64 crash_op = replay(rig, script);
       if (!rig.cache->crashed()) {
         res.violations.push_back(ctx + ": scheduled cut never fired");
         case_id++;
         continue;
+      }
+
+      // DRAM dies with the power: dirty tier residents are lost and each
+      // loss is ledgered before the reboot discards the tier.
+      if (rig.tier != nullptr) {
+        rig.tier->on_power_cut(1);
+        res.tier_lost_dirty += rig.tier->tier_stats().lost_dirty_blocks;
       }
 
       rig.reattach();  // reboot
@@ -320,6 +357,13 @@ CrashSweepResult run_crash_sweep(const CrashSweepConfig& cfg) {
     res.violations.push_back("power-cut fault ledger does not reconcile");
   if (res.injected != res.cases)
     res.violations.push_back("ledger injected count != cases run");
+  if (cfg.tier_budget_bytes > 0) {
+    if (!tier_ledger.reconciles())
+      res.violations.push_back("tier data-loss ledger does not reconcile");
+    if (tier_ledger.injected() != res.tier_lost_dirty)
+      res.violations.push_back(
+          "tier ledger injected != lost dirty tier blocks");
+  }
   return res;
 }
 

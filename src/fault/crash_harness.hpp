@@ -24,6 +24,15 @@
 //      (injected == detected + undetected; a cut that tore a segment is
 //      detected via the discarded-torn-segment count, a cut before any media
 //      write legitimately leaves no evidence).
+//
+// With tier_budget_bytes > 0 the replay runs through a compressed DRAM tier
+// (tier::TierCache) above the cache. DRAM vanishes at the cut: every dirty
+// block resident in the tier is *lost* — an accepted widening of the paper's
+// loss window, which invariant 4's newer_write_before escape already covers
+// (the lost write was acked after the durable copy, and the cut took it).
+// The harness fires TierCache::on_power_cut at each cut and additionally
+// asserts that the tier's own data-loss ledger reconciles: one
+// injected+detected record per lost dirty block, nothing silent.
 #pragma once
 
 #include <string>
@@ -44,6 +53,10 @@ struct CrashSweepConfig {
   u64 seed = 1;
   // 0 sweeps every seal boundary; N > 0 subsamples evenly to bound cost.
   u64 max_boundaries = 0;
+  // > 0 interposes a compressed DRAM tier with this budget above the cache
+  // for every replay (small budgets force destages, so seals still happen).
+  u64 tier_budget_bytes = 0;
+  u32 tier_dirty_pct = 50;
 };
 
 struct CrashSweepResult {
@@ -53,6 +66,7 @@ struct CrashSweepResult {
   u64 injected = 0;          // power cuts injected (== cases)
   u64 detected = 0;          // cuts that left a discarded torn segment
   u64 undetected = 0;        // cuts before any media write (no evidence)
+  u64 tier_lost_dirty = 0;   // dirty tier blocks lost across all cases
   std::vector<std::string> violations;
 
   [[nodiscard]] bool ok() const { return violations.empty(); }

@@ -14,6 +14,8 @@ const char* to_string(WriteCause c) {
     case WriteCause::kDestage: return "destage";
     case WriteCause::kQuotaShed: return "quota_shed";
     case WriteCause::kRebuildCopy: return "rebuild_copy";
+    case WriteCause::kTierDestage: return "tier_destage";
+    case WriteCause::kTierDemote: return "tier_demote";
   }
   return "?";
 }

@@ -36,8 +36,12 @@ enum class WriteCause : u8 {
   kQuotaShed = 6,   // write diverted/destaged because a tenant is over quota
   kRebuildCopy = 7, // block reconstructed onto a replacement device by the
                     // background rebuild engine (parity/mirror decode)
+  kTierDestage = 8, // dirty block written back from the compressed DRAM
+                    // tier into the flash cache (tier write-back)
+  kTierDemote = 9,  // clean block demoted from the compressed DRAM tier and
+                    // re-admitted into the flash cache
 };
-inline constexpr size_t kNumWriteCauses = 8;
+inline constexpr size_t kNumWriteCauses = 10;
 
 const char* to_string(WriteCause c);
 

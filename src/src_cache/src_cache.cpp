@@ -523,6 +523,34 @@ SimTime SrcCache::do_write(const cache::AppRequest& req) {
   return ack;
 }
 
+// --- compressed DRAM tier hand-off ------------------------------------------
+
+SimTime SrcCache::tier_destage(SimTime now, std::span<const u64> lbas,
+                               std::span<const u64> tags,
+                               std::span<const u16> tenants) {
+  if (crashed_) return now;
+  // Destages carry dirty data that only the tier holds, so they stage
+  // unconditionally — the quota gate applies to admissions, not durability.
+  for (size_t i = 0; i < lbas.size(); ++i) {
+    stage_dirty(lbas[i], tags[i], norm_tenant(tenants[i]), now,
+                WriteCause::kTierDestage);
+  }
+  drain_buffers(now);
+  return throttle(now, now + kStageCost * static_cast<SimTime>(lbas.size()));
+}
+
+SimTime SrcCache::tier_demote(SimTime now, u64 lba, u64 tag, u16 tenant) {
+  if (crashed_) return now;
+  stage_clean(lba, tag, norm_tenant(tenant), now, WriteCause::kTierDemote);
+  drain_buffers(now);
+  return throttle(now, now + kStageCost);
+}
+
+bool SrcCache::hot_hint(u64 lba) const {
+  const auto it = map_.find(lba);
+  return it != map_.end() && it->second.hot();
+}
+
 // --- segment sealing --------------------------------------------------------
 
 u32 SrcCache::allocate_sg(SimTime now) {

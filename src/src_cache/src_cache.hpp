@@ -18,6 +18,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -177,6 +178,20 @@ class SrcCache final : public cache::CacheDevice {
   // Segment writes issued so far; a full run's count enumerates the
   // power-cut boundaries the harness sweeps.
   [[nodiscard]] u64 seals() const { return seal_count_; }
+
+  // --- compressed DRAM tier hand-off (src/tier) ---
+  // Dirty blocks destaged by the tier enter the normal dirty staging path
+  // under the kTierDestage provenance cause; clean blocks demoted on tier
+  // eviction stage as clean fills under kTierDemote (a no-op when the block
+  // is already resident — the cached copy wins). Both return the ack time
+  // after draining full segments and applying the in-flight throttle.
+  SimTime tier_destage(SimTime now, std::span<const u64> lbas,
+                       std::span<const u64> tags,
+                       std::span<const u16> tenants);
+  SimTime tier_demote(SimTime now, u64 lba, u64 tag, u16 tenant);
+  // Promotion hint for the tier: true when the block is resident here and
+  // marked hot (recently re-accessed), i.e. worth holding in DRAM too.
+  [[nodiscard]] bool hot_hint(u64 lba) const;
 
   // Optional fault accounting: detection (CRC mismatch, media error) and
   // repair events on the read path are reported to `ledger`, keyed by

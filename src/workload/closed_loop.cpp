@@ -41,6 +41,7 @@ u64 ClosedLoop::issue(sim::SimTime now, size_t g, bool measure) {
   req.lba = op.lba;
   req.nblocks = op.nblocks;
   req.tenant = op.tenant;
+  req.comp_pct = op.comp_pct;
   if (cfg_.with_tags && !op.is_write) {
     tagbuf_.resize(op.nblocks);
     req.tags_out = tagbuf_.data();
@@ -116,6 +117,7 @@ void ClosedLoop::start() {
   cache_before_ = cache_->stats();
   if (cfg_.registry != nullptr) metrics_before_ = cfg_.registry->snapshot();
   if (cfg_.provenance != nullptr) prov_before_ = *cfg_.provenance;
+  if (cfg_.tier != nullptr) tier_before_ = cfg_.tier->tier_stats();
   sampler_.start(start_);
   // Fault-plan triggers are relative to the measurement window ("2s in",
   // "ops:1000"), so the injector is anchored and advanced only inside it.
@@ -230,6 +232,32 @@ RunResult ClosedLoop::finish() {
   if (cfg_.provenance != nullptr)
     res_.provenance = cfg_.provenance->delta_since(prov_before_);
   if (cfg_.spans != nullptr) res_.spans = cfg_.spans->outcome();
+  if (cfg_.tier != nullptr) {
+    TierOutcome& to = res_.tier;
+    const tier::TierStats& ts = cfg_.tier->tier_stats();
+    to.active = true;
+    to.hit_blocks = ts.hit_blocks - tier_before_.hit_blocks;
+    to.miss_blocks = ts.miss_blocks - tier_before_.miss_blocks;
+    to.admit_blocks = ts.admit_blocks - tier_before_.admit_blocks;
+    to.bypass_blocks = ts.bypass_blocks - tier_before_.bypass_blocks;
+    to.promote_blocks = ts.promote_blocks - tier_before_.promote_blocks;
+    to.destage_blocks = ts.destage_blocks - tier_before_.destage_blocks;
+    to.demote_blocks = ts.demote_blocks - tier_before_.demote_blocks;
+    to.drop_blocks = ts.drop_blocks - tier_before_.drop_blocks;
+    to.evict_blocks = ts.evict_blocks - tier_before_.evict_blocks;
+    to.uncompressed_bytes =
+        ts.uncompressed_bytes - tier_before_.uncompressed_bytes;
+    to.compressed_bytes = ts.compressed_bytes - tier_before_.compressed_bytes;
+    to.cpu_compress_ns = ts.cpu_compress_ns - tier_before_.cpu_compress_ns;
+    to.cpu_decompress_ns =
+        ts.cpu_decompress_ns - tier_before_.cpu_decompress_ns;
+    to.lost_dirty_blocks =
+        ts.lost_dirty_blocks - tier_before_.lost_dirty_blocks;
+    to.resident_blocks = cfg_.tier->resident_blocks();
+    to.resident_compressed_bytes = cfg_.tier->resident_compressed_bytes();
+    to.dirty_blocks = cfg_.tier->dirty_blocks();
+    to.budget_bytes = cfg_.tier->config().budget_bytes;
+  }
 
   if (cfg_.fault != nullptr) {
     FaultOutcome& fo = res_.fault;

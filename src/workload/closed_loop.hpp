@@ -14,6 +14,7 @@
 #include <queue>
 #include <vector>
 
+#include "tier/tier_cache.hpp"
 #include "workload/runner.hpp"
 
 namespace srcache::workload {
@@ -86,6 +87,7 @@ class ClosedLoop {
   cache::CacheStats cache_before_;
   obs::MetricsSnapshot metrics_before_;
   obs::ProvenanceLedger prov_before_;
+  tier::TierStats tier_before_;
 };
 
 }  // namespace srcache::workload

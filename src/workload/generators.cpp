@@ -1,8 +1,22 @@
 #include "workload/generators.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace srcache::workload {
+
+u8 comp_pct_for(u64 lba, u32 mean_pct, u32 jitter_pct) {
+  // SplitMix64 finalizer over the LBA: stateless, so concurrent generators
+  // and re-reads of the same block always agree on its content.
+  u64 h = lba + 0x9E3779B97F4A7C15ull;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  const u32 spread = 2 * jitter_pct + 1;
+  const auto pct = static_cast<i64>(mean_pct) - jitter_pct +
+                   static_cast<i64>(h % spread);
+  return static_cast<u8>(std::clamp<i64>(pct, 5, 100));
+}
 
 FioGen::FioGen(const Config& cfg) : cfg_(cfg), rng_(cfg.seed) {
   if (cfg_.span_blocks == 0) throw std::invalid_argument("FioGen: empty span");
@@ -24,6 +38,7 @@ Op FioGen::next() {
     const u64 slots = cfg_.span_blocks / cfg_.req_blocks;
     op.lba = cfg_.offset_blocks + rng_.below(slots) * cfg_.req_blocks;
   }
+  op.comp_pct = comp_pct_for(op.lba, cfg_.comp_mean_pct, cfg_.comp_jitter_pct);
   return op;
 }
 

@@ -15,7 +15,17 @@ struct Op {
   u64 lba = 0;
   u32 nblocks = 1;
   u32 tenant = 0;  // multi-tenant runs tag each request with its owner
+  // Compressed size of the request's blocks as a percentage of kBlockSize.
+  // A pure function of the LBA (plus per-stream distribution parameters),
+  // so every read and write of a block agrees on its compressibility.
+  u8 comp_pct = 0;
 };
+
+// Deterministic per-block compressibility: a SplitMix-style hash of the LBA
+// picks a point in [mean - jitter, mean + jitter], clamped to [5, 100].
+// Content is a property of the block, not of the request, so this must stay
+// a pure function of (lba, mean, jitter).
+[[nodiscard]] u8 comp_pct_for(u64 lba, u32 mean_pct, u32 jitter_pct);
 
 // A closed-loop request source. next() returns the stream's next request;
 // generators own their RNG so runs are deterministic per seed.
@@ -38,6 +48,11 @@ class FioGen final : public Generator {
     bool sequential = false;
     u64 seed = 1;
     u32 tenant = 0;
+    // Per-block compressibility distribution stamped onto each Op (see
+    // comp_pct_for). The FIO default mimics a mixed server image: ~60% of
+    // raw size on average, +/- 30 points of spread.
+    u32 comp_mean_pct = 60;
+    u32 comp_jitter_pct = 30;
   };
 
   explicit FioGen(const Config& cfg);

@@ -106,6 +106,33 @@ std::string run_json(const std::string& bench, const std::string& name,
     w.end_object();
   }
 
+  // v7: compressed-DRAM-tier outcome, emitted only when a tier was attached
+  // so v6 documents' shapes stay strict subsets.
+  if (r.tier.active) {
+    w.key("tier").begin_object();
+    w.kv("hit_blocks", r.tier.hit_blocks);
+    w.kv("miss_blocks", r.tier.miss_blocks);
+    w.kv("hit_ratio", r.tier.hit_ratio());
+    w.kv("admit_blocks", r.tier.admit_blocks);
+    w.kv("bypass_blocks", r.tier.bypass_blocks);
+    w.kv("promote_blocks", r.tier.promote_blocks);
+    w.kv("destage_blocks", r.tier.destage_blocks);
+    w.kv("demote_blocks", r.tier.demote_blocks);
+    w.kv("drop_blocks", r.tier.drop_blocks);
+    w.kv("evict_blocks", r.tier.evict_blocks);
+    w.kv("uncompressed_bytes", r.tier.uncompressed_bytes);
+    w.kv("compressed_bytes", r.tier.compressed_bytes);
+    w.kv("compression_ratio", r.tier.compression_ratio());
+    w.kv("cpu_compress_ns", r.tier.cpu_compress_ns);
+    w.kv("cpu_decompress_ns", r.tier.cpu_decompress_ns);
+    w.kv("lost_dirty_blocks", r.tier.lost_dirty_blocks);
+    w.kv("resident_blocks", r.tier.resident_blocks);
+    w.kv("resident_compressed_bytes", r.tier.resident_compressed_bytes);
+    w.kv("dirty_blocks", r.tier.dirty_blocks);
+    w.kv("budget_bytes", r.tier.budget_bytes);
+    w.end_object();
+  }
+
   // v5: causal-observability blocks. Each is emitted only when its feature
   // was wired for the run, keeping older documents' shapes as strict subsets.
   if (!r.provenance.empty()) w.key("provenance").raw(r.provenance.to_json());
@@ -215,7 +242,7 @@ std::string run_json(const std::string& bench, const std::string& name,
 std::string ReproReport::to_json() const {
   obs::JsonWriter w;
   w.begin_object();
-  w.kv("schema", "srcache-repro-v6");
+  w.kv("schema", "srcache-repro-v7");
   w.kv("scale", scale_);
   w.kv("virtual_seconds", virtual_seconds_);
   w.key("runs").begin_array();

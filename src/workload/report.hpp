@@ -68,6 +68,21 @@
 //   "slo": { "policy": {...}, "epochs", "violations", "degraded_epochs",
 //            "burn_rate", "breached", "verdicts": [ {...} ] }
 // (epoch SLO watchdog verdicts; see obs/slo.hpp and repro_report --slo).
+//
+// v6 is a strict superset of v5: runs with a background rebuild engine
+// attached add the "rebuild" object (hot-spare reconstruction outcome).
+//
+// v7 is a strict superset of v6. Runs fronted by the compressed DRAM tier
+// (REPRO_TIER_MB > 0) add a "tier" object:
+//   "tier": { "hit_blocks", "miss_blocks", "hit_ratio", "admit_blocks",
+//             "bypass_blocks", "promote_blocks", "destage_blocks",
+//             "demote_blocks", "drop_blocks", "evict_blocks",
+//             "uncompressed_bytes", "compressed_bytes", "compression_ratio",
+//             "cpu_compress_ns", "cpu_decompress_ns", "lost_dirty_blocks",
+//             "resident_blocks", "resident_compressed_bytes",
+//             "dirty_blocks", "budget_bytes" }
+// and the provenance "by_cause" map gains "tier_destage" / "tier_demote"
+// entries (the map was always open-ended, so v6 consumers keep working).
 #pragma once
 
 #include <string>

@@ -22,6 +22,10 @@
 #include "raid/rebuild.hpp"
 #include "workload/generators.hpp"
 
+namespace srcache::tier {
+class TierCache;
+}
+
 namespace srcache::workload {
 
 struct RunConfig {
@@ -74,6 +78,12 @@ struct RunConfig {
   // "op.write") around every measured request; components wired to the same
   // tracer attach children. RunResult.spans carries the aggregate outcome.
   obs::SpanTracer* spans = nullptr;
+  // Optional compressed DRAM tier sitting above the cache under test
+  // (src/tier). The loop snapshots its stats after warm-up and reports the
+  // measurement-window delta in RunResult.tier. Note `cache` should already
+  // be the tier itself when one is attached — this pointer only adds the
+  // tier-specific accounting.
+  tier::TierCache* tier = nullptr;
 };
 
 // Fault-scenario outcome of a run (RunConfig::fault). The window is split at
@@ -108,6 +118,68 @@ struct FaultOutcome {
   obs::LatencyRecorder degraded_latency;
   obs::LatencySummary degraded_read_lat;
   obs::LatencySummary degraded_write_lat;
+};
+
+// Compressed-DRAM-tier outcome of a run (inactive unless RunConfig::tier
+// was set): integer mirrors of tier::TierStats over the measurement window
+// plus end-of-window occupancy. Everything is exact integer arithmetic so
+// per-shard outcomes merge bit-identically.
+struct TierOutcome {
+  bool active = false;
+  u64 hit_blocks = 0;
+  u64 miss_blocks = 0;
+  u64 admit_blocks = 0;
+  u64 bypass_blocks = 0;
+  u64 promote_blocks = 0;
+  u64 destage_blocks = 0;
+  u64 demote_blocks = 0;
+  u64 drop_blocks = 0;
+  u64 evict_blocks = 0;
+  u64 uncompressed_bytes = 0;
+  u64 compressed_bytes = 0;
+  u64 cpu_compress_ns = 0;
+  u64 cpu_decompress_ns = 0;
+  u64 lost_dirty_blocks = 0;
+  // End-of-window occupancy and configuration (budgets sum across domains,
+  // like the flash capacity they shadow).
+  u64 resident_blocks = 0;
+  u64 resident_compressed_bytes = 0;
+  u64 dirty_blocks = 0;
+  u64 budget_bytes = 0;
+
+  [[nodiscard]] double hit_ratio() const {
+    const u64 total = hit_blocks + miss_blocks;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hit_blocks) /
+                            static_cast<double>(total);
+  }
+  [[nodiscard]] double compression_ratio() const {
+    return uncompressed_bytes == 0
+               ? 1.0
+               : static_cast<double>(compressed_bytes) /
+                     static_cast<double>(uncompressed_bytes);
+  }
+  void merge_add(const TierOutcome& o) {
+    active = active || o.active;
+    hit_blocks += o.hit_blocks;
+    miss_blocks += o.miss_blocks;
+    admit_blocks += o.admit_blocks;
+    bypass_blocks += o.bypass_blocks;
+    promote_blocks += o.promote_blocks;
+    destage_blocks += o.destage_blocks;
+    demote_blocks += o.demote_blocks;
+    drop_blocks += o.drop_blocks;
+    evict_blocks += o.evict_blocks;
+    uncompressed_bytes += o.uncompressed_bytes;
+    compressed_bytes += o.compressed_bytes;
+    cpu_compress_ns += o.cpu_compress_ns;
+    cpu_decompress_ns += o.cpu_decompress_ns;
+    lost_dirty_blocks += o.lost_dirty_blocks;
+    resident_blocks += o.resident_blocks;
+    resident_compressed_bytes += o.resident_compressed_bytes;
+    dirty_blocks += o.dirty_blocks;
+    budget_bytes += o.budget_bytes;
+  }
 };
 
 // Per-tenant slice of the measurement window (RunConfig::num_tenants > 0).
@@ -175,6 +247,10 @@ struct RunResult {
 
   // Op-span tracing outcome (inactive unless RunConfig::spans was set).
   obs::SpanOutcome spans;
+
+  // Compressed-DRAM-tier outcome (inactive unless RunConfig::tier was set).
+  // Merged across shard domains by TierOutcome::merge_add.
+  TierOutcome tier;
 
   // Epoch SLO watchdog outcome (inactive unless a watchdog observed this
   // run; the engine harness assigns it on the merged result).

@@ -89,6 +89,7 @@ Op TraceSynth::next() {
   }
   last_end_ = lba + op.nblocks >= cfg_.footprint_blocks ? 0 : lba + op.nblocks;
   op.lba = cfg_.offset_blocks + lba;
+  op.comp_pct = comp_pct_for(op.lba, cfg_.comp_mean_pct, cfg_.comp_jitter_pct);
   return op;
 }
 
@@ -108,9 +109,16 @@ TraceSet make_trace_set(TraceGroup g, u64 total_footprint_bytes, u64 seed,
   TraceSet set;
   common::SplitMix64 seeder(seed);
   u64 offset = 0;
+  u32 row = 0;
   for (const auto& s : specs) {
     TraceSynth::Config cfg;
     cfg.spec = s;
+    // Spread content compressibility across the group's rows (fixed per
+    // row, independent of the run seed): means walk 40..80 so every group
+    // mixes DRAM-friendly and near-incompressible traces.
+    cfg.comp_mean_pct = 40 + (row * 13) % 41;
+    cfg.comp_jitter_pct = 25;
+    row++;
     cfg.footprint_blocks = std::max<u64>(
         256, static_cast<u64>(static_cast<double>(total_footprint_bytes) *
                               (s.size_gb / volume)) /

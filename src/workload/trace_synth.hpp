@@ -51,6 +51,11 @@ class TraceSynth final : public Generator {
     u64 extent_blocks = 32;  // 128 KiB
     u64 seed = 1;
     u32 tenant = 0;
+    // Per-block compressibility distribution (see comp_pct_for). Server
+    // traces differ widely in content — make_trace_set spreads the means
+    // across rows so a trace group mixes well- and poorly-compressing data.
+    u32 comp_mean_pct = 60;
+    u32 comp_jitter_pct = 30;
   };
 
   explicit TraceSynth(const Config& cfg);

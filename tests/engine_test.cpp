@@ -18,6 +18,7 @@
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "src_test_util.hpp"
+#include "tier/tier_cache.hpp"
 #include "workload/generators.hpp"
 #include "workload/report.hpp"
 
@@ -44,6 +45,8 @@ struct TestDomain {
   // reach them.
   std::unique_ptr<obs::TraceLog> trace;
   std::unique_ptr<obs::SpanTracer> spans;
+  // Compressed DRAM tier (make_tier_domain only), interposed above the rig.
+  std::unique_ptr<tier::TierCache> tier;
 
   TestDomain() = default;
   explicit TestDomain(const src::SrcConfig& c) : rig(c) {}
@@ -102,6 +105,26 @@ DomainSetup make_obs_domain(u32 index) {
   holder->rig.cache->set_span(holder->spans.get());
   s.cfg.spans = holder->spans.get();
   s.cfg.provenance = &holder->rig.cache->provenance();
+  return s;
+}
+
+// Like make_test_domain but with a compressed DRAM tier interposed above
+// the rig's cache, exactly as the bench harness wires it: the engine drives
+// the tier, the tier drives the SrcCache, and RunConfig::tier makes the
+// closed loop report the TierOutcome block.
+DomainSetup make_tier_domain(u32 index, policy::EvictionKind ev) {
+  DomainSetup s = make_test_domain(index);
+  auto* holder = static_cast<TestDomain*>(s.owned.get());
+  tier::TierConfig tc;
+  tc.budget_bytes = 96 * kBlockSize;  // small: forces destaging + eviction
+  tc.dirty_pct = 50;
+  tc.eviction = ev;
+  tc.destage_batch_blocks =
+      static_cast<u32>(holder->rig.cfg.segment_data_slots(true));
+  holder->tier = std::make_unique<tier::TierCache>(
+      tc, holder->rig.cache.get(), holder->rig.cache.get());
+  s.cache = holder->tier.get();
+  s.cfg.tier = holder->tier.get();
   return s;
 }
 
@@ -173,6 +196,44 @@ TEST(ParallelEngine, BitIdenticalForEveryPolicyCombination) {
   // Sanity: a non-default policy actually changes behaviour (otherwise the
   // identity above would be vacuous). paper+always vs s3fifo+ghost.
   EXPECT_NE(prints[0], prints[3]);
+}
+
+// The compressed DRAM tier must not weaken the determinism contract: with a
+// tier above every domain (for each eviction policy the REPRO_TIER_POLICY
+// knob can select), serial, sharded and multi-threaded execution produce
+// byte-identical merged results — including the merged TierOutcome block,
+// which run_json serializes into the fingerprint.
+TEST(ParallelEngine, TierIsBitIdenticalAcrossShardsAndThreads) {
+  const std::string bare = fingerprint(run_engine(4, 1, 0));
+  for (auto ev : {policy::EvictionKind::kPaper, policy::EvictionKind::kS3Fifo,
+                  policy::EvictionKind::kSieve}) {
+    const auto make = [ev](u32 index, u32) {
+      return make_tier_domain(index, ev);
+    };
+    auto run = [&make](u32 shards, u32 threads) {
+      EngineConfig ec;
+      ec.shards = shards;
+      ec.threads = threads;
+      return ParallelEngine(ec).run(4, make);
+    };
+    const EngineResult serial = run(1, 0);
+    const std::string label = policy::to_string(ev);
+    // The tier really participated: absorbed hits, destaged write-back,
+    // and its block is active in the merged result.
+    EXPECT_TRUE(serial.merged.tier.active) << label;
+    EXPECT_GT(serial.merged.tier.hit_blocks, 0u) << label;
+    EXPECT_GT(serial.merged.tier.destage_blocks, 0u) << label;
+    EXPECT_GT(serial.merged.tier.compressed_bytes, 0u) << label;
+    EXPECT_LT(serial.merged.tier.compressed_bytes,
+              serial.merged.tier.uncompressed_bytes)
+        << label;
+    const std::string want = fingerprint(serial);
+    EXPECT_EQ(want, fingerprint(run(4, 1))) << label << " serial vs 4 shards";
+    EXPECT_EQ(want, fingerprint(run(4, 4))) << label << " serial vs 4x4";
+    // And the tier is not a no-op: the merged outcome differs from the
+    // bare-cache run (otherwise the identity above proves nothing).
+    EXPECT_NE(want, bare) << label;
+  }
 }
 
 TEST(ParallelEngine, ShardsBeyondDomainsClampToDomains) {

@@ -619,7 +619,7 @@ TEST(ObsEndToEnd, ReportJsonRoundTrip) {
   const auto parsed = obs::parse_json(report.to_json());
   ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
   const obs::JsonValue& doc = parsed.value();
-  EXPECT_EQ(doc.find("schema")->string, "srcache-repro-v6");
+  EXPECT_EQ(doc.find("schema")->string, "srcache-repro-v7");
   ASSERT_TRUE(doc.find("runs")->is_array());
   ASSERT_EQ(doc.find("runs")->array.size(), 1u);
 

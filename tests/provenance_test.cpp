@@ -11,6 +11,7 @@
 #include "obs/json.hpp"
 #include "obs/provenance.hpp"
 #include "src_test_util.hpp"
+#include "tier/tier_cache.hpp"
 #include "workload/runner.hpp"
 
 namespace srcache::src {
@@ -208,6 +209,54 @@ TEST(ProvenanceBalance, QuotaShedIsAttributedToTheTenant) {
       shed_t1 += cell[static_cast<size_t>(WriteCause::kQuotaShed)];
   }
   EXPECT_GT(shed_t1, 0u);
+  expect_exact_balance(rig);
+}
+
+// Tier hand-off writes (destage of tier-dirty data, demotion of clean
+// evictions whose flash copy is gone) carry their own causes, and the
+// balance invariant must keep holding with a compressed DRAM tier driving
+// the cache.
+TEST(ProvenanceBalance, TierDestageAndDemoteAreAttributedExactly) {
+  Rig rig;
+  tier::TierConfig tc;
+  tc.budget_bytes = 64 * kBlockSize;
+  tc.dirty_pct = 25;
+  tc.destage_batch_blocks =
+      static_cast<u32>(rig.cfg.segment_data_slots(true));
+  tier::TierCache tier(tc, rig.cache.get(), rig.cache.get());
+  sim::SimTime t = 0;
+
+  auto tier_write = [&](u64 lba, u8 pct) {
+    cache::AppRequest r;
+    r.now = ++t;
+    r.is_write = true;
+    r.lba = lba;
+    r.nblocks = 1;
+    r.comp_pct = pct;
+    t = tier.submit(r);
+  };
+
+  // Clean tier residents: read-miss fills of primary-only blocks.
+  for (u64 i = 0; i < 64; ++i) {
+    cache::AppRequest r;
+    r.now = ++t;
+    r.lba = 50000 + i;
+    r.nblocks = 1;
+    r.comp_pct = 50;
+    t = tier.submit(r);
+  }
+  // Churn the flash cache underneath until GC discards those clean copies.
+  for (u64 i = 0; i < 8000; ++i) t = rig.write(t, i);
+  // Dirty pressure through the tier: destages (dirty bound) and FIFO
+  // evictions. The oldest residents are the clean 50000s — now absent
+  // below, so their eviction demotes instead of dropping.
+  for (u64 i = 0; i < 200; ++i) tier_write(10000 + i, 50);
+
+  const ProvenanceLedger& led = rig.cache->provenance();
+  EXPECT_GT(tier.tier_stats().destage_blocks, 0u);
+  EXPECT_GT(tier.tier_stats().demote_blocks, 0u);
+  EXPECT_GT(led.cause_bytes(WriteCause::kTierDestage), 0u);
+  EXPECT_GT(led.cause_bytes(WriteCause::kTierDemote), 0u);
   expect_exact_balance(rig);
 }
 

@@ -21,6 +21,10 @@
 //                        strictly greater than run B's (names match the
 //                        "name" field; first document only) — the CI gate
 //                        for "adaptive beats the static split"
+//   --assert-tier ON OFF exit 1 unless run ON (tier enabled) wrote strictly
+//                        fewer flash blocks (ssd.write_blocks) than run OFF
+//                        at an equal-or-better aggregate hit_ratio — the CI
+//                        gate for "the compressed DRAM tier pays for itself"
 //   --digest             print crc32c of each document minus its "perf"
 //                        section (the only execution-dependent part, v4);
 //                        with two files, exit 1 on digest mismatch — the CI
@@ -87,6 +91,8 @@ struct Options {
   std::string frontier_csv;
   std::string assert_cand;  // --assert-hit-gt: candidate run name
   std::string assert_base;  // --assert-hit-gt: baseline run name
+  std::string tier_on;      // --assert-tier: tier-enabled run name
+  std::string tier_off;     // --assert-tier: tier-disabled run name
   std::vector<std::string> files;
 };
 
@@ -107,9 +113,11 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--thr-throughput F] [--thr-p99 F] [--thr-waf F]\n"
       "       %*s [--csv DIR] [--tenants] [--assert-hit-gt CAND BASE]\n"
-      "       %*s [--digest] [--slo] [--frontier] [--frontier-csv PATH]\n"
+      "       %*s [--assert-tier ON OFF] [--digest] [--slo] [--frontier]\n"
+      "       %*s [--frontier-csv PATH]\n"
       "           baseline.json [candidate.json]\n",
       argv0, static_cast<int>(std::strlen(argv0)), "",
+      static_cast<int>(std::strlen(argv0)), "",
       static_cast<int>(std::strlen(argv0)), "");
   return 2;
 }
@@ -147,6 +155,10 @@ bool parse_args(int argc, char** argv, Options* opt) {
       if (i + 2 >= argc) return false;
       opt->assert_cand = argv[++i];
       opt->assert_base = argv[++i];
+    } else if (a == "--assert-tier") {
+      if (i + 2 >= argc) return false;
+      opt->tier_on = argv[++i];
+      opt->tier_off = argv[++i];
     } else if (!a.empty() && a[0] == '-') {
       return false;
     } else {
@@ -623,6 +635,49 @@ int assert_hit_gt(const Doc& doc, const std::string& cand_name,
   return ok ? 0 : 1;
 }
 
+// --assert-tier: the CI gate for the compressed DRAM tier. The tier-on run
+// must write strictly fewer flash blocks than the tier-off run while holding
+// an equal-or-better aggregate hit ratio — i.e. the tier absorbed writes
+// without costing hits. First match by "name", first document only.
+int assert_tier(const Doc& doc, const std::string& on_name,
+                const std::string& off_name) {
+  const JsonValue* on = nullptr;
+  const JsonValue* off = nullptr;
+  for (const Run& run : doc.runs) {
+    if (on == nullptr && run.name == on_name) on = run.json;
+    if (off == nullptr && run.name == off_name) off = run.json;
+  }
+  if (on == nullptr || off == nullptr) {
+    std::fprintf(stderr, "--assert-tier: run \"%s\" not found\n",
+                 (on == nullptr ? on_name : off_name).c_str());
+    return 2;
+  }
+  auto flash_writes = [](const JsonValue& run) {
+    const JsonValue* ssd = run.find("ssd");
+    return ssd == nullptr ? 0.0 : ssd->number_or("write_blocks", 0.0);
+  };
+  const double won = flash_writes(*on);
+  const double woff = flash_writes(*off);
+  const double hon = on->number_or("hit_ratio", 0.0);
+  const double hoff = off->number_or("hit_ratio", 0.0);
+  const bool writes_ok = won < woff;
+  const bool hit_ok = hon >= hoff;
+  std::printf("assert-tier: flash write_blocks %s %.0f %s %s %.0f (%s)\n",
+              on_name.c_str(), won, writes_ok ? "<" : ">=", off_name.c_str(),
+              woff, writes_ok ? "ok" : "FAIL");
+  std::printf("assert-tier: hit_ratio %s %.4f %s %s %.4f (%s)\n",
+              on_name.c_str(), hon, hit_ok ? ">=" : "<", off_name.c_str(),
+              hoff, hit_ok ? "ok" : "FAIL");
+  if (const JsonValue* tier = on->find("tier")) {
+    std::printf("assert-tier: %s tier hit %.4f, compression %.3f, "
+                "destaged %.0f blocks\n",
+                on_name.c_str(), tier->number_or("hit_ratio", 0.0),
+                tier->number_or("compression_ratio", 0.0),
+                tier->number_or("destage_blocks", 0.0));
+  }
+  return writes_ok && hit_ok ? 0 : 1;
+}
+
 // Relative change of `b` vs baseline `a`; 0 when the baseline is 0.
 double rel(double a, double b) { return a == 0.0 ? 0.0 : (b - a) / a; }
 
@@ -748,6 +803,11 @@ int main(int argc, char** argv) {
   if (!opt.assert_cand.empty()) {
     rc = assert_hit_gt(a, opt.assert_cand, opt.assert_base);
     if (rc == 2) return 2;
+  }
+  if (!opt.tier_on.empty()) {
+    const int trc = assert_tier(a, opt.tier_on, opt.tier_off);
+    if (trc == 2) return 2;
+    rc = std::max(rc, trc);
   }
   if (opt.files.size() == 2) {
     Doc b;
